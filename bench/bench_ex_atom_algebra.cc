@@ -1,0 +1,178 @@
+// EX-ALG1: the Ch. 3.1 atom-type algebra example — border = x(area, edge)
+// followed by σ[hectare > 1000](border) — timed on the Figure-4 data and on
+// scaled networks, with and without link inheritance (the MAD-specific
+// cost that keeps results derivable).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "algebra/atom_algebra.h"
+#include "expr/expr.h"
+#include "text/printer.h"
+#include "workload/geo.h"
+
+namespace {
+
+namespace e = mad::expr;
+
+const bool kExamplePrinted = [] {
+  mad::Database db("GEO_DB");
+  auto ids = mad::workload::BuildFigure4GeoDatabase(db);
+  if (!ids.ok()) return false;
+  std::cout << "==== EX-ALG1: Ch. 3.1 — x(area, edge) = border; "
+               "sigma[hectare > 1000](border) ====\n";
+  auto a = mad::algebra::Rename(db, "area", {{"name", "aname"}}, "area_r");
+  auto b = mad::algebra::Rename(db, "edge", {{"name", "ename"}}, "edge_r");
+  if (!a.ok() || !b.ok()) return false;
+  auto border = mad::algebra::CartesianProduct(db, "area_r", "edge_r", "border");
+  if (!border.ok()) return false;
+  auto big = mad::algebra::Restrict(
+      db, "border", e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000})),
+      "big_border");
+  if (!big.ok()) return false;
+  std::cout << "border: "
+            << (*db.GetAtomType("border"))->occurrence().size()
+            << " atoms, schema "
+            << (*db.GetAtomType("border"))->description().ToString() << "\n";
+  std::cout << "sigma[hectare>1000](border): "
+            << (*db.GetAtomType("big_border"))->occurrence().size()
+            << " atoms; inherited link types on border: "
+            << border->inherited_link_types.size() << "\n\n";
+  return true;
+}();
+
+struct AlgebraFixture {
+  std::unique_ptr<mad::Database> db;
+  int64_t states = -1;
+
+  static AlgebraFixture& Get(benchmark::State& state) {
+    static AlgebraFixture f;
+    if (f.db == nullptr || f.states != state.range(0)) {
+      f.states = state.range(0);
+      f.db = std::make_unique<mad::Database>("SCALED");
+      mad::workload::GeoScale scale;
+      scale.states = static_cast<int>(f.states);
+      scale.edges_per_area = 4;
+      auto stats = mad::workload::GenerateScaledGeo(*f.db, scale);
+      if (!stats.ok()) {
+        state.SkipWithError(stats.status().ToString().c_str());
+        return f;
+      }
+      auto a = mad::algebra::Rename(*f.db, "area", {{"name", "aname"}},
+                                    "area_r");
+      auto b = mad::algebra::Rename(*f.db, "edge", {{"name", "ename"}},
+                                    "edge_r");
+      if (!a.ok() || !b.ok()) {
+        state.SkipWithError("rename failed");
+      }
+    }
+    return f;
+  }
+};
+
+void BM_BorderProductWithInheritance(benchmark::State& state) {
+  auto& f = AlgebraFixture::Get(state);
+  if (f.db == nullptr) return;
+  size_t atoms = 0;
+  for (auto _ : state) {
+    auto border = mad::algebra::CartesianProduct(*f.db, "area_r", "edge_r");
+    if (!border.ok()) {
+      state.SkipWithError(border.status().ToString().c_str());
+      return;
+    }
+    atoms = (*f.db->GetAtomType(border->atom_type))->occurrence().size();
+    state.PauseTiming();
+    auto s = f.db->DropAtomType(border->atom_type);
+    benchmark::DoNotOptimize(&s);
+    state.ResumeTiming();
+  }
+  state.counters["border_atoms"] = static_cast<double>(atoms);
+}
+BENCHMARK(BM_BorderProductWithInheritance)->Arg(5)->Arg(15);
+
+void BM_BorderProductNoInheritance(benchmark::State& state) {
+  auto& f = AlgebraFixture::Get(state);
+  if (f.db == nullptr) return;
+  mad::algebra::AlgebraOptions options;
+  options.inherit_links = false;
+  for (auto _ : state) {
+    auto border =
+        mad::algebra::CartesianProduct(*f.db, "area_r", "edge_r", "", options);
+    if (!border.ok()) {
+      state.SkipWithError(border.status().ToString().c_str());
+      return;
+    }
+    state.PauseTiming();
+    auto s = f.db->DropAtomType(border->atom_type);
+    benchmark::DoNotOptimize(&s);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_BorderProductNoInheritance)->Arg(5)->Arg(15);
+
+void BM_RestrictBorder(benchmark::State& state) {
+  auto& f = AlgebraFixture::Get(state);
+  if (f.db == nullptr) return;
+  if (!f.db->HasAtomType("border_fixed")) {
+    mad::algebra::AlgebraOptions options;
+    options.inherit_links = false;
+    auto border = mad::algebra::CartesianProduct(*f.db, "area_r", "edge_r",
+                                                 "border_fixed", options);
+    if (!border.ok()) {
+      state.SkipWithError(border.status().ToString().c_str());
+      return;
+    }
+  }
+  auto pred = e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000}));
+  mad::algebra::AlgebraOptions options;
+  options.inherit_links = false;
+  for (auto _ : state) {
+    auto big = mad::algebra::Restrict(*f.db, "border_fixed", pred, "", options);
+    if (!big.ok()) {
+      state.SkipWithError(big.status().ToString().c_str());
+      return;
+    }
+    state.PauseTiming();
+    auto s = f.db->DropAtomType(big->atom_type);
+    benchmark::DoNotOptimize(&s);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_RestrictBorder)->Arg(5)->Arg(15);
+
+void BM_ChainedRestrictions(benchmark::State& state) {
+  // Theorem-1 closure exercised: σ ∘ σ ∘ π chains.
+  auto& f = AlgebraFixture::Get(state);
+  if (f.db == nullptr) return;
+  for (auto _ : state) {
+    auto s1 = mad::algebra::Restrict(
+        *f.db, "state", e::Gt(e::Attr("hectare"), e::Lit(int64_t{500})));
+    if (!s1.ok()) {
+      state.SkipWithError("restrict failed");
+      return;
+    }
+    auto s2 = mad::algebra::Restrict(
+        *f.db, s1->atom_type,
+        e::Lt(e::Attr("hectare"), e::Lit(int64_t{1500})));
+    auto s3 = s2.ok() ? mad::algebra::Project(*f.db, s2->atom_type, {"name"})
+                      : s2;
+    benchmark::DoNotOptimize(&s3);
+    state.PauseTiming();
+    if (s3.ok()) {
+      auto st = f.db->DropAtomType(s3->atom_type);
+      benchmark::DoNotOptimize(&st);
+    }
+    if (s2.ok()) {
+      auto st = f.db->DropAtomType(s2->atom_type);
+      benchmark::DoNotOptimize(&st);
+    }
+    auto st = f.db->DropAtomType(s1->atom_type);
+    benchmark::DoNotOptimize(&st);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ChainedRestrictions)->Arg(50)->Arg(200);
+
+}  // namespace

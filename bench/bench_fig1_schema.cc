@@ -1,0 +1,86 @@
+// FIG1: regenerates Figure 1 (the geographic ER schema and its one-to-one
+// MAD diagram) and measures schema construction: ER -> MAD mapping,
+// ER -> relational mapping, and scaled occurrence loading.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "er/er_model.h"
+#include "text/printer.h"
+#include "workload/geo.h"
+
+namespace {
+
+const bool kFigurePrinted = [] {
+  mad::er::ErSchema er = mad::er::Figure1ErSchema();
+  std::cout << "==== FIG1: Figure 1 — sample geographic application ====\n"
+            << mad::text::FormatErDiagram(er) << "\n";
+  mad::Database db("GEO_DB");
+  if (auto s = mad::er::MapToMad(er, db); !s.ok()) {
+    std::cerr << s << "\n";
+    return false;
+  }
+  std::cout << mad::text::FormatMadDiagram(db) << "\n";
+  auto report = mad::er::CompareMappings(er);
+  if (report.ok()) {
+    std::cout << "schema mapping: MAD = " << report->mad_atom_types
+              << " atom types + " << report->mad_link_types
+              << " link types; relational = " << report->rel_relations
+              << " relations (" << report->rel_auxiliary_relations
+              << " auxiliary) + " << report->rel_foreign_key_columns
+              << " foreign-key columns\n\n";
+  }
+  return true;
+}();
+
+void BM_ErToMadMapping(benchmark::State& state) {
+  mad::er::ErSchema er = mad::er::Figure1ErSchema();
+  for (auto _ : state) {
+    mad::Database db("GEO_DB");
+    benchmark::DoNotOptimize(mad::er::MapToMad(er, db));
+    benchmark::DoNotOptimize(&db);
+  }
+}
+BENCHMARK(BM_ErToMadMapping);
+
+void BM_ErToRelationalMapping(benchmark::State& state) {
+  mad::er::ErSchema er = mad::er::Figure1ErSchema();
+  for (auto _ : state) {
+    auto rdb = mad::er::MapToRelational(er);
+    benchmark::DoNotOptimize(&rdb);
+  }
+}
+BENCHMARK(BM_ErToRelationalMapping);
+
+void BM_BuildFigure4Occurrence(benchmark::State& state) {
+  for (auto _ : state) {
+    mad::Database db("GEO_DB");
+    auto ids = mad::workload::BuildFigure4GeoDatabase(db);
+    benchmark::DoNotOptimize(&ids);
+  }
+}
+BENCHMARK(BM_BuildFigure4Occurrence);
+
+void BM_LoadScaledGeo(benchmark::State& state) {
+  mad::workload::GeoScale scale;
+  scale.states = static_cast<int>(state.range(0));
+  scale.rivers = scale.states / 5 + 1;
+  size_t atoms = 0;
+  size_t links = 0;
+  for (auto _ : state) {
+    mad::Database db("SCALED");
+    auto stats = mad::workload::GenerateScaledGeo(db, scale);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    atoms = stats->atoms;
+    links = stats->links;
+  }
+  state.counters["atoms"] = static_cast<double>(atoms);
+  state.counters["links"] = static_cast<double>(links);
+}
+BENCHMARK(BM_LoadScaledGeo)->Arg(10)->Arg(50)->Arg(200);
+
+}  // namespace

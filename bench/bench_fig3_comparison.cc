@@ -1,0 +1,235 @@
+// FIG3: regenerates Figure 3 (the relational-vs-MAD concept correspondence
+// table) and measures each corresponding operation pair on identical data:
+// the MAD atom-type algebra against the classical relational algebra. The
+// expected shape: MAD pays a link-inheritance overhead per operation (that
+// is what keeps results network-connected); with inheritance disabled the
+// two sides converge — the degeneration the figure describes.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "algebra/atom_algebra.h"
+#include "expr/expr.h"
+#include "relational/bridge.h"
+#include "relational/rel_algebra.h"
+#include "text/printer.h"
+#include "workload/geo.h"
+
+namespace {
+
+namespace e = mad::expr;
+
+const bool kFigurePrinted = [] {
+  std::cout << "==== FIG3: Figure 3 — comparison of corresponding concepts "
+               "====\n"
+            << mad::text::FormatConceptComparison() << "\n";
+  return true;
+}();
+
+/// Shared fixture: one scaled MAD database plus its relational transform.
+class Corresponding : public benchmark::Fixture {
+ public:
+  void SetUp(::benchmark::State& state) override {
+    if (db_ != nullptr && states_ == state.range(0)) return;
+    states_ = state.range(0);
+    db_ = std::make_unique<mad::Database>("SCALED");
+    mad::workload::GeoScale scale;
+    scale.states = static_cast<int>(states_);
+    scale.rivers = scale.states / 5 + 1;
+    auto stats = mad::workload::GenerateScaledGeo(*db_, scale);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    auto rdb = mad::rel::TransformToRelational(*db_);
+    if (!rdb.ok()) {
+      state.SkipWithError(rdb.status().ToString().c_str());
+      return;
+    }
+    rdb_ = std::make_unique<mad::rel::RelationalDatabase>(*std::move(rdb));
+  }
+
+  static std::unique_ptr<mad::Database> db_;
+  static std::unique_ptr<mad::rel::RelationalDatabase> rdb_;
+  static int64_t states_;
+};
+std::unique_ptr<mad::Database> Corresponding::db_;
+std::unique_ptr<mad::rel::RelationalDatabase> Corresponding::rdb_;
+int64_t Corresponding::states_ = -1;
+
+// ---- σ restriction -----------------------------------------------------------
+
+BENCHMARK_DEFINE_F(Corresponding, MadRestrict)(benchmark::State& state) {
+  auto pred = e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000}));
+  for (auto _ : state) {
+    auto result = mad::algebra::Restrict(*db_, "state", pred);
+    benchmark::DoNotOptimize(&result);
+    state.PauseTiming();
+    if (result.ok()) {
+      auto s = db_->DropAtomType(result->atom_type);
+      benchmark::DoNotOptimize(&s);
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK_REGISTER_F(Corresponding, MadRestrict)->Arg(50)->Arg(200);
+
+BENCHMARK_DEFINE_F(Corresponding, MadRestrictNoInheritance)
+(benchmark::State& state) {
+  auto pred = e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000}));
+  mad::algebra::AlgebraOptions options;
+  options.inherit_links = false;
+  for (auto _ : state) {
+    auto result = mad::algebra::Restrict(*db_, "state", pred, "", options);
+    benchmark::DoNotOptimize(&result);
+    state.PauseTiming();
+    if (result.ok()) {
+      auto s = db_->DropAtomType(result->atom_type);
+      benchmark::DoNotOptimize(&s);
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK_REGISTER_F(Corresponding, MadRestrictNoInheritance)
+    ->Arg(50)
+    ->Arg(200);
+
+BENCHMARK_DEFINE_F(Corresponding, RelRestrict)(benchmark::State& state) {
+  auto pred = e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000}));
+  const mad::rel::Relation* states = *rdb_->Get("state");
+  for (auto _ : state) {
+    auto result = mad::rel::Restrict(*states, pred);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK_REGISTER_F(Corresponding, RelRestrict)->Arg(50)->Arg(200);
+
+// ---- π projection ------------------------------------------------------------
+
+BENCHMARK_DEFINE_F(Corresponding, MadProject)(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = mad::algebra::Project(*db_, "point", {"name"});
+    benchmark::DoNotOptimize(&result);
+    state.PauseTiming();
+    if (result.ok()) {
+      auto s = db_->DropAtomType(result->atom_type);
+      benchmark::DoNotOptimize(&s);
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK_REGISTER_F(Corresponding, MadProject)->Arg(50)->Arg(200);
+
+BENCHMARK_DEFINE_F(Corresponding, RelProject)(benchmark::State& state) {
+  const mad::rel::Relation* points = *rdb_->Get("point");
+  for (auto _ : state) {
+    auto result = mad::rel::Project(*points, {"name"});
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK_REGISTER_F(Corresponding, RelProject)->Arg(50)->Arg(200);
+
+// ---- × cartesian product ------------------------------------------------------
+
+BENCHMARK_DEFINE_F(Corresponding, MadCartesianProduct)
+(benchmark::State& state) {
+  // state × river after disjoint renaming (kept out of the timed region).
+  if (!db_->HasAtomType("river_r")) {
+    auto r1 = mad::algebra::Rename(
+        *db_, "river", {{"name", "rname"}, {"length", "rlength"}}, "river_r");
+    if (!r1.ok()) {
+      state.SkipWithError(r1.status().ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto result = mad::algebra::CartesianProduct(*db_, "state", "river_r");
+    benchmark::DoNotOptimize(&result);
+    state.PauseTiming();
+    if (result.ok()) {
+      auto s = db_->DropAtomType(result->atom_type);
+      benchmark::DoNotOptimize(&s);
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK_REGISTER_F(Corresponding, MadCartesianProduct)->Arg(50);
+
+BENCHMARK_DEFINE_F(Corresponding, RelCartesianProduct)
+(benchmark::State& state) {
+  const mad::rel::Relation* states = *rdb_->Get("state");
+  auto rivers =
+      mad::rel::Rename(**rdb_->Get("river"),
+                       {{"_id", "_rid"}, {"name", "rname"},
+                        {"length", "rlength"}});
+  if (!rivers.ok()) {
+    state.SkipWithError(rivers.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto result = mad::rel::CartesianProduct(*states, *rivers);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK_REGISTER_F(Corresponding, RelCartesianProduct)->Arg(50);
+
+// ---- ω / δ ---------------------------------------------------------------------
+
+BENCHMARK_DEFINE_F(Corresponding, MadUnionDifference)(benchmark::State& state) {
+  // Idempotent setup: the benchmark function may be re-entered for timing
+  // calibration.
+  if (!db_->HasAtomType("u_big")) {
+    auto big = mad::algebra::Restrict(
+        *db_, "state", e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000})),
+        "u_big");
+    auto small = mad::algebra::Restrict(
+        *db_, "state", e::Le(e::Attr("hectare"), e::Lit(int64_t{400})),
+        "u_small");
+    if (!big.ok() || !small.ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  mad::algebra::AlgebraOptions options;
+  options.inherit_links = false;
+  for (auto _ : state) {
+    auto u = mad::algebra::Union(*db_, "u_big", "u_small", "", options);
+    auto d = mad::algebra::Difference(*db_, "u_big", "u_small", "", options);
+    benchmark::DoNotOptimize(&u);
+    benchmark::DoNotOptimize(&d);
+    state.PauseTiming();
+    if (u.ok()) {
+      auto s = db_->DropAtomType(u->atom_type);
+      benchmark::DoNotOptimize(&s);
+    }
+    if (d.ok()) {
+      auto s = db_->DropAtomType(d->atom_type);
+      benchmark::DoNotOptimize(&s);
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK_REGISTER_F(Corresponding, MadUnionDifference)->Arg(50);
+
+BENCHMARK_DEFINE_F(Corresponding, RelUnionDifference)(benchmark::State& state) {
+  const mad::rel::Relation* states = *rdb_->Get("state");
+  auto big =
+      mad::rel::Restrict(*states, e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000})));
+  auto small =
+      mad::rel::Restrict(*states, e::Le(e::Attr("hectare"), e::Lit(int64_t{400})));
+  if (!big.ok() || !small.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto u = mad::rel::Union(*big, *small);
+    auto d = mad::rel::Difference(*big, *small);
+    benchmark::DoNotOptimize(&u);
+    benchmark::DoNotOptimize(&d);
+  }
+}
+BENCHMARK_REGISTER_F(Corresponding, RelUnionDifference)->Arg(50);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// FIG4: regenerates Figure 4 (the formal specification of the geographic
+// database) and measures the cost of building the specified occurrence and
+// of formatting the specification.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "text/printer.h"
+#include "workload/geo.h"
+
+namespace {
+
+const bool kFigurePrinted = [] {
+  mad::Database db("GEO_DB");
+  auto ids = mad::workload::BuildFigure4GeoDatabase(db);
+  if (!ids.ok()) return false;
+  std::cout << "==== FIG4: Figure 4 — formal specification of the geographic "
+               "database ====\n"
+            << mad::text::FormatDatabaseSpec(db) << "\n";
+  return true;
+}();
+
+void BM_BuildAndSpecFigure4(benchmark::State& state) {
+  for (auto _ : state) {
+    mad::Database db("GEO_DB");
+    auto ids = mad::workload::BuildFigure4GeoDatabase(db);
+    if (!ids.ok()) {
+      state.SkipWithError("fixture failed");
+      return;
+    }
+    std::string spec = mad::text::FormatDatabaseSpec(db);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_BuildAndSpecFigure4);
+
+void BM_FormatSpecOnly(benchmark::State& state) {
+  mad::Database db("SCALED");
+  mad::workload::GeoScale scale;
+  scale.states = static_cast<int>(state.range(0));
+  auto stats = mad::workload::GenerateScaledGeo(db, scale);
+  if (!stats.ok()) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  for (auto _ : state) {
+    std::string spec = mad::text::FormatDatabaseSpec(db, 2);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_FormatSpecOnly)->Arg(10)->Arg(100);
+
+void BM_ReferentialIntegrityInsertLink(benchmark::State& state) {
+  // Link insertion includes the membership checks Fig. 4's link types rely
+  // on (no dangling links, ever).
+  mad::Database db("GEO_DB");
+  auto ids = mad::workload::BuildFigure4GeoDatabase(db);
+  if (!ids.ok()) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  mad::AtomId a1 = ids->areas["a1"];
+  mad::AtomId e1 = ids->edges["e1"];
+  for (auto _ : state) {
+    auto s1 = db.InsertLink("area-edge", a1, e1);
+    benchmark::DoNotOptimize(&s1);
+    auto s2 = db.EraseLink("area-edge", a1, e1);
+    benchmark::DoNotOptimize(&s2);
+  }
+}
+BENCHMARK(BM_ReferentialIntegrityInsertLink);
+
+void BM_DeleteAtomCascade(benchmark::State& state) {
+  // Atom deletion cascades into every touching link type.
+  for (auto _ : state) {
+    state.PauseTiming();
+    mad::Database db("GEO_DB");
+    auto ids = mad::workload::BuildFigure4GeoDatabase(db);
+    if (!ids.ok()) {
+      state.SkipWithError("fixture failed");
+      return;
+    }
+    state.ResumeTiming();
+    auto s = db.DeleteAtom("point", ids->points["pn"]);
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(BM_DeleteAtomCascade);
+
+}  // namespace

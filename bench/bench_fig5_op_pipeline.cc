@@ -1,0 +1,170 @@
+// FIG5: the diagrammatic definition of molecule-type operations (Figure 5)
+// as measurable stages — every operation is (1) op-specific actions,
+// (2) propagation of the result set into the database, (3) molecule-type
+// definition over the enlarged database. The benchmark times each stage of
+// the molecule-type restriction Σ separately and end to end, so the cost
+// structure of the paper's operator recipe becomes visible.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "expr/expr.h"
+#include "molecule/derivation.h"
+#include "molecule/operations.h"
+#include "molecule/propagation.h"
+#include "workload/geo.h"
+
+namespace {
+
+namespace e = mad::expr;
+
+const bool kFigurePrinted = [] {
+  std::cout
+      << "==== FIG5: Figure 5 — staged definition of molecule-type "
+         "operations ====\n"
+         "  mt --(1) op-specific actions--> rst --(2) prop--> DB' --(3) "
+         "molecule-type definition a--> mt'\n\n";
+  return true;
+}();
+
+struct PipelineFixtureState {
+  std::unique_ptr<mad::Database> db;
+  std::unique_ptr<mad::MoleculeType> mt;
+  int64_t states = -1;
+};
+
+PipelineFixtureState& Fixture(benchmark::State& state) {
+  static PipelineFixtureState fs;
+  if (fs.db == nullptr || fs.states != state.range(0)) {
+    fs.states = state.range(0);
+    fs.db = std::make_unique<mad::Database>("SCALED");
+    mad::workload::GeoScale scale;
+    scale.states = static_cast<int>(fs.states);
+    auto stats = mad::workload::GenerateScaledGeo(*fs.db, scale);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return fs;
+    }
+    auto md = mad::MoleculeDescription::CreateFromTypes(
+        *fs.db, {"state", "area", "edge", "point"},
+        {{"state-area", "state", "area", false},
+         {"area-edge", "area", "edge", false},
+         {"edge-point", "edge", "point", false}});
+    if (!md.ok()) {
+      state.SkipWithError(md.status().ToString().c_str());
+      return fs;
+    }
+    auto mt = mad::DefineMoleculeType(*fs.db, "mt_state", *md);
+    if (!mt.ok()) {
+      state.SkipWithError(mt.status().ToString().c_str());
+      return fs;
+    }
+    fs.mt = std::make_unique<mad::MoleculeType>(*std::move(mt));
+  }
+  return fs;
+}
+
+e::ExprPtr Predicate() {
+  return e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{1000}));
+}
+
+// Stage 0 (the operand): molecule-type definition a itself.
+void BM_Stage_Definition(benchmark::State& state) {
+  auto& fs = Fixture(state);
+  if (fs.mt == nullptr) return;
+  for (auto _ : state) {
+    auto mt = mad::DefineMoleculeType(*fs.db, "mt", fs.mt->description());
+    benchmark::DoNotOptimize(&mt);
+  }
+}
+BENCHMARK(BM_Stage_Definition)->Arg(20)->Arg(100);
+
+// Stage 1: the op-specific action of Σ — qualification over the set.
+void BM_Stage_OpSpecificRestrict(benchmark::State& state) {
+  auto& fs = Fixture(state);
+  if (fs.mt == nullptr) return;
+  auto pred = Predicate();
+  for (auto _ : state) {
+    auto rst = mad::RestrictMolecules(*fs.db, *fs.mt, pred, "rst");
+    benchmark::DoNotOptimize(&rst);
+  }
+}
+BENCHMARK(BM_Stage_OpSpecificRestrict)->Arg(20)->Arg(100);
+
+// Stage 2: prop — materialising the result set into the database.
+void BM_Stage_Propagation(benchmark::State& state) {
+  auto& fs = Fixture(state);
+  if (fs.mt == nullptr) return;
+  auto rst = mad::RestrictMolecules(*fs.db, *fs.mt, Predicate(), "rst");
+  if (!rst.ok()) {
+    state.SkipWithError(rst.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto prop = mad::PropagateMoleculeType(*fs.db, *rst, "bench_prop");
+    benchmark::DoNotOptimize(&prop);
+    state.PauseTiming();
+    if (prop.ok()) {
+      // Remove the propagated types again to keep the fixture stable.
+      for (const mad::MoleculeNode& node : prop->description().nodes()) {
+        auto s = fs.db->DropAtomType(node.type_name);
+        benchmark::DoNotOptimize(&s);
+      }
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Stage_Propagation)->Arg(20)->Arg(100);
+
+// Stage 3: re-definition over the enlarged database (Theorem 2's a).
+void BM_Stage_Redefinition(benchmark::State& state) {
+  auto& fs = Fixture(state);
+  if (fs.mt == nullptr) return;
+  auto rst = mad::RestrictMolecules(*fs.db, *fs.mt, Predicate(), "rst");
+  if (!rst.ok()) {
+    state.SkipWithError(rst.status().ToString().c_str());
+    return;
+  }
+  auto prop = mad::PropagateMoleculeType(*fs.db, *rst, "stage3_prop");
+  if (!prop.ok()) {
+    state.SkipWithError(prop.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto mv = mad::DeriveMolecules(*fs.db, prop->description());
+    benchmark::DoNotOptimize(&mv);
+  }
+  // Leave the propagated types in place: the fixture is rebuilt per Arg.
+}
+BENCHMARK(BM_Stage_Redefinition)->Arg(20)->Arg(100);
+
+// End to end: Σ with full propagation.
+void BM_FullPipeline(benchmark::State& state) {
+  auto& fs = Fixture(state);
+  if (fs.mt == nullptr) return;
+  auto pred = Predicate();
+  int run = 0;
+  for (auto _ : state) {
+    auto rst = mad::RestrictMolecules(*fs.db, *fs.mt, pred, "rst");
+    if (!rst.ok()) {
+      state.SkipWithError(rst.status().ToString().c_str());
+      return;
+    }
+    auto prop = mad::PropagateMoleculeType(*fs.db, *rst,
+                                           "full" + std::to_string(++run));
+    benchmark::DoNotOptimize(&prop);
+    state.PauseTiming();
+    if (prop.ok()) {
+      for (const mad::MoleculeNode& node : prop->description().nodes()) {
+        auto s = fs.db->DropAtomType(node.type_name);
+        benchmark::DoNotOptimize(&s);
+      }
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(20)->Arg(100);
+
+}  // namespace

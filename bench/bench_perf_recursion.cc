@@ -1,0 +1,167 @@
+// PERF-REC: the Ch. 5 recursion extension — bill-of-material parts
+// explosion and where-used implosion over layered BOM DAGs, swept by depth
+// and fan-out, plus the cost of materialising the closure as a first-class
+// link type. Expected shape: explosion cost grows with the number of links
+// reached; DAG sharing keeps it well below the exponential path count.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "molecule/recursive.h"
+#include "workload/bom.h"
+
+namespace {
+
+struct BomFixture {
+  std::unique_ptr<mad::Database> db;
+  mad::workload::BomStats stats;
+  int64_t key = -1;
+
+  static BomFixture& Get(benchmark::State& state, int depth, int fanout,
+                         double share) {
+    static BomFixture f;
+    int64_t key = depth * 1000 + fanout * 10 + static_cast<int64_t>(share * 10);
+    if (f.db == nullptr || f.key != key) {
+      f.key = key;
+      f.db = std::make_unique<mad::Database>("BOM");
+      mad::workload::BomScale scale;
+      scale.depth = depth;
+      scale.fanout = fanout;
+      scale.share_fraction = share;
+      auto stats = mad::workload::GenerateBom(*f.db, scale);
+      if (!stats.ok()) {
+        state.SkipWithError(stats.status().ToString().c_str());
+        f.db.reset();
+        return f;
+      }
+      f.stats = *stats;
+    }
+    return f;
+  }
+};
+
+void BM_PartsExplosionByDepth(benchmark::State& state) {
+  auto& f = BomFixture::Get(state, static_cast<int>(state.range(0)), 3, 0.3);
+  if (f.db == nullptr) return;
+  mad::RecursiveDescription rd{"part", "composition",
+                               mad::LinkDirection::kForward, -1};
+  size_t atoms = 0;
+  for (auto _ : state) {
+    auto m = mad::DeriveRecursiveMoleculeFor(*f.db, rd, f.stats.roots[0]);
+    if (!m.ok()) {
+      state.SkipWithError(m.status().ToString().c_str());
+      return;
+    }
+    atoms = m->atom_count();
+    benchmark::DoNotOptimize(&m);
+  }
+  state.counters["closure_atoms"] = static_cast<double>(atoms);
+  state.counters["total_parts"] = static_cast<double>(f.stats.parts);
+}
+BENCHMARK(BM_PartsExplosionByDepth)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_PartsExplosionByFanout(benchmark::State& state) {
+  auto& f = BomFixture::Get(state, 6, static_cast<int>(state.range(0)), 0.3);
+  if (f.db == nullptr) return;
+  mad::RecursiveDescription rd{"part", "composition",
+                               mad::LinkDirection::kForward, -1};
+  for (auto _ : state) {
+    auto m = mad::DeriveRecursiveMoleculeFor(*f.db, rd, f.stats.roots[0]);
+    benchmark::DoNotOptimize(&m);
+  }
+  state.counters["total_parts"] = static_cast<double>(f.stats.parts);
+}
+BENCHMARK(BM_PartsExplosionByFanout)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SharingAblation(benchmark::State& state) {
+  // Sharing degree sweep: higher sharing -> fewer distinct parts -> the
+  // visited-set traversal converges faster (argument(0) is share * 10).
+  double share = static_cast<double>(state.range(0)) / 10.0;
+  auto& f = BomFixture::Get(state, 7, 3, share);
+  if (f.db == nullptr) return;
+  mad::RecursiveDescription rd{"part", "composition",
+                               mad::LinkDirection::kForward, -1};
+  size_t atoms = 0;
+  for (auto _ : state) {
+    auto m = mad::DeriveRecursiveMoleculeFor(*f.db, rd, f.stats.roots[0]);
+    if (m.ok()) atoms = m->atom_count();
+    benchmark::DoNotOptimize(&m);
+  }
+  state.counters["closure_atoms"] = static_cast<double>(atoms);
+}
+BENCHMARK(BM_SharingAblation)->Arg(0)->Arg(3)->Arg(6)->Arg(9);
+
+void BM_WhereUsedImplosion(benchmark::State& state) {
+  auto& f = BomFixture::Get(state, static_cast<int>(state.range(0)), 3, 0.3);
+  if (f.db == nullptr) return;
+  // Deepest leaf: the last inserted part.
+  const mad::AtomType* part = *f.db->GetAtomType("part");
+  mad::AtomId leaf = part->occurrence().atoms().back().id;
+  mad::RecursiveDescription rd{"part", "composition",
+                               mad::LinkDirection::kBackward, -1};
+  for (auto _ : state) {
+    auto m = mad::DeriveRecursiveMoleculeFor(*f.db, rd, leaf);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_WhereUsedImplosion)->Arg(6)->Arg(10);
+
+void BM_DepthBoundedExplosion(benchmark::State& state) {
+  auto& f = BomFixture::Get(state, 10, 3, 0.3);
+  if (f.db == nullptr) return;
+  mad::RecursiveDescription rd{"part", "composition",
+                               mad::LinkDirection::kForward,
+                               static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    auto m = mad::DeriveRecursiveMoleculeFor(*f.db, rd, f.stats.roots[0]);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_DepthBoundedExplosion)->Arg(1)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_AllExplosions(benchmark::State& state) {
+  // One recursive molecule per part (the full molecule-type occurrence).
+  auto& f = BomFixture::Get(state, static_cast<int>(state.range(0)), 3, 0.3);
+  if (f.db == nullptr) return;
+  mad::RecursiveDescription rd{"part", "composition",
+                               mad::LinkDirection::kForward, -1};
+  for (auto _ : state) {
+    auto mv = mad::DeriveRecursiveMolecules(*f.db, rd);
+    benchmark::DoNotOptimize(&mv);
+  }
+}
+BENCHMARK(BM_AllExplosions)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_PropagateClosure(benchmark::State& state) {
+  auto& f = BomFixture::Get(state, static_cast<int>(state.range(0)), 3, 0.3);
+  if (f.db == nullptr) return;
+  mad::RecursiveDescription rd{"part", "composition",
+                               mad::LinkDirection::kForward, -1};
+  int run = 0;
+  size_t links = 0;
+  for (auto _ : state) {
+    std::string name = "closure" + std::to_string(++run);
+    auto inserted = mad::PropagateClosureLinks(*f.db, rd, name);
+    if (!inserted.ok()) {
+      state.SkipWithError(inserted.status().ToString().c_str());
+      return;
+    }
+    links = *inserted;
+    state.PauseTiming();
+    auto s = f.db->DropLinkType(name);
+    benchmark::DoNotOptimize(&s);
+    state.ResumeTiming();
+  }
+  state.counters["closure_links"] = static_cast<double>(links);
+}
+BENCHMARK(BM_PropagateClosure)->Arg(4)->Arg(6);
+
+const bool kHeaderPrinted = [] {
+  std::cout << "==== PERF-REC: recursive molecules (Ch. 5, [Schö89]) — BOM "
+               "explosion/implosion sweeps ====\n\n";
+  return true;
+}();
+
+}  // namespace

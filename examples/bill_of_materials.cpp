@@ -1,0 +1,98 @@
+// The bill-of-material application of Ch. 3.1 and Ch. 5: one reflexive
+// link type 'composition' on atom type 'part' supports both the
+// super-component and the sub-component view; the recursive molecule
+// extension answers parts explosion and where-used queries.
+//
+// Run: ./build/examples/example_bill_of_materials
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "molecule/recursive.h"
+#include "mql/session.h"
+#include "text/printer.h"
+#include "workload/bom.h"
+
+namespace {
+
+void Check(const mad::Status& status) {
+  if (status.ok()) return;
+  std::cerr << "error: " << status << "\n";
+  std::exit(1);
+}
+
+template <typename T>
+T Check(mad::Result<T> result) {
+  Check(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mad;  // NOLINT: example brevity
+
+  Database db("BOM");
+  std::map<std::string, AtomId> ids = Check(workload::BuildCarBom(db));
+  std::cout << text::FormatMadDiagram(db) << "\n";
+
+  // ---- Parts explosion (sub-component view). ----------------------------
+  RecursiveDescription explosion{"part", "composition",
+                                 LinkDirection::kForward, -1};
+  RecursiveMolecule car =
+      Check(DeriveRecursiveMoleculeFor(db, explosion, ids["car"]));
+  std::cout << text::FormatRecursiveMolecule(db, explosion, car) << "\n";
+
+  // Cost rollup over the explosion: every composition link contributes its
+  // sub-part's cost once per usage (the bolt is used twice).
+  const AtomType* part = Check(db.GetAtomType("part"));
+  size_t cost_idx = Check(part->description().IndexOf("cost"));
+  int64_t rollup = 0;
+  for (const Link& link : car.links()) {
+    rollup += part->occurrence().Find(link.second)->values[cost_idx].AsInt64();
+  }
+  std::cout << "summed component costs of car (per usage): " << rollup << "\n\n";
+
+  // ---- Where-used (super-component view), through the same links. -------
+  RecursiveDescription implosion{"part", "composition",
+                                 LinkDirection::kBackward, -1};
+  RecursiveMolecule bolt =
+      Check(DeriveRecursiveMoleculeFor(db, implosion, ids["bolt"]));
+  std::cout << text::FormatRecursiveMolecule(db, implosion, bolt) << "\n";
+
+  // ---- The same queries in MQL. ------------------------------------------
+  mql::Session session(&db);
+  std::cout << "MQL> SELECT ALL FROM part-[composition*] "
+               "WHERE root.name = 'car';\n";
+  auto q1 = Check(session.Execute(
+      "SELECT ALL FROM part-[composition*] WHERE root.name = 'car';"));
+  std::cout << "  -> explosion reaches " << q1.recursive[0].atom_count()
+            << " parts, depth " << q1.recursive[0].depth() << "\n";
+
+  std::cout << "MQL> SELECT ALL FROM part-[composition~*] "
+               "WHERE root.name = 'bolt';\n";
+  auto q2 = Check(session.Execute(
+      "SELECT ALL FROM part-[composition~*] WHERE root.name = 'bolt';"));
+  std::cout << "  -> bolt is used (transitively) in "
+            << q2.recursive[0].atom_count() - 1 << " parts\n";
+
+  std::cout << "MQL> SELECT ALL FROM part-[composition*1] "
+               "WHERE root.name = 'car';\n";
+  auto q3 = Check(session.Execute(
+      "SELECT ALL FROM part-[composition*1] WHERE root.name = 'car';"));
+  std::cout << "  -> direct components only: "
+            << q3.recursive[0].atom_count() - 1 << "\n\n";
+
+  // ---- Recursive molecules as schema objects ([Schö89]). -----------------
+  size_t closure = Check(PropagateClosureLinks(db, explosion, "contains_all"));
+  std::cout << "propagated transitive-containment link type 'contains_all' "
+            << "with " << closure << " links\n";
+  // It is an ordinary (reflexive) link type now: a depth-1 step over it
+  // answers the full explosion without re-running the fixpoint.
+  auto q4 = Check(session.Execute(
+      "SELECT ALL FROM part-[contains_all*1] WHERE root.name = 'car';"));
+  std::cout << "  via 'contains_all' in one step: "
+            << q4.recursive[0].atom_count() - 1 << " parts\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// An interactive MQL shell over one MAD database. Statements end with ';'
+// and may span lines; meta-commands start with '\':
+//
+//   \schema          print the MAD diagram
+//   \spec            print the formal database specification (Fig. 4 style)
+//   \save <file>     serialize the database
+//   \load <file>     replace the database from a file
+//   \q               quit
+//
+// Usage:  ./build/examples/example_mql_shell            (interactive)
+//         ./build/examples/example_mql_shell < script   (batch)
+
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "mql/session.h"
+#include "storage/serializer.h"
+#include "text/printer.h"
+#include "util/string_util.h"
+
+namespace {
+
+void PrintResult(const mad::Database& db, const mad::mql::QueryResult& result) {
+  using Kind = mad::mql::QueryResult::Kind;
+  switch (result.kind) {
+    case Kind::kMolecules:
+      std::cout << mad::text::FormatMoleculeType(db, *result.molecules, 8);
+      break;
+    case Kind::kRecursive: {
+      std::cout << result.recursive.size() << " recursive molecule(s)\n";
+      size_t shown = 0;
+      for (const mad::RecursiveMolecule& m : result.recursive) {
+        if (++shown > 8) {
+          std::cout << "...\n";
+          break;
+        }
+        std::cout << mad::text::FormatRecursiveMolecule(
+            db, result.recursive_description, m);
+      }
+      break;
+    }
+    case Kind::kCommand:
+      std::cout << result.message << "\n";
+      break;
+  }
+}
+
+bool HandleMetaCommand(const std::string& line,
+                       std::unique_ptr<mad::Database>& db,
+                       std::unique_ptr<mad::mql::Session>& session,
+                       bool* quit) {
+  if (line.empty() || line[0] != '\\') return false;
+  std::vector<std::string> words;
+  for (const std::string& w : mad::Split(line, ' ')) {
+    if (!w.empty()) words.push_back(w);
+  }
+  const std::string& cmd = words[0];
+  if (cmd == "\\q" || cmd == "\\quit") {
+    *quit = true;
+  } else if (cmd == "\\schema") {
+    std::cout << mad::text::FormatMadDiagram(*db);
+  } else if (cmd == "\\spec") {
+    std::cout << mad::text::FormatDatabaseSpec(*db);
+  } else if (cmd == "\\save" && words.size() == 2) {
+    std::ofstream out(words[1]);
+    mad::Status s = out ? mad::WriteDatabase(*db, out)
+                        : mad::Status::InvalidArgument("cannot open file");
+    std::cout << (s.ok() ? "saved " + words[1] : s.ToString()) << "\n";
+  } else if (cmd == "\\load" && words.size() == 2) {
+    std::ifstream in(words[1]);
+    if (!in) {
+      std::cout << "cannot open " << words[1] << "\n";
+    } else {
+      auto loaded = mad::ReadDatabase(in);
+      if (loaded.ok()) {
+        db = std::move(loaded).value();
+        session = std::make_unique<mad::mql::Session>(db.get());
+        std::cout << "loaded " << words[1] << " (" << db->total_atom_count()
+                  << " atoms, " << db->total_link_count() << " links)\n";
+      } else {
+        std::cout << loaded.status() << "\n";
+      }
+    }
+  } else {
+    std::cout << "unknown meta command: " << line << "\n";
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  auto db = std::make_unique<mad::Database>("shell");
+  auto session = std::make_unique<mad::mql::Session>(db.get());
+  bool interactive = static_cast<bool>(isatty(0));
+
+  if (interactive) {
+    std::cout << "madlib MQL shell — statements end with ';', \\q quits\n";
+  }
+
+  std::string buffer;
+  std::string line;
+  bool quit = false;
+  while (!quit) {
+    if (interactive) std::cout << (buffer.empty() ? "mql> " : "...> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+
+    std::string_view stripped = mad::StripWhitespace(line);
+    if (buffer.empty() && !stripped.empty() && stripped[0] == '\\') {
+      if (HandleMetaCommand(std::string(stripped), db, session, &quit)) {
+        continue;
+      }
+    }
+    buffer += line;
+    buffer += '\n';
+    // Execute once the buffer holds a ';' terminator.
+    if (stripped.empty() || stripped.back() != ';') continue;
+
+    auto results = session->ExecuteScript(buffer);
+    buffer.clear();
+    if (!results.ok()) {
+      std::cout << results.status() << "\n";
+      continue;
+    }
+    for (const mad::mql::QueryResult& result : *results) {
+      PrintResult(*db, result);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: define a MAD schema in MQL, load atoms and links, and ask for
+// dynamically defined complex objects (molecules).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_quickstart
+
+#include <cstdlib>
+#include <iostream>
+
+#include "mql/session.h"
+#include "storage/database.h"
+#include "text/printer.h"
+
+namespace {
+
+// Halts with a message on any failed status (examples prefer brevity over
+// recovery; library code returns Status/Result instead).
+void Check(const mad::Status& status) {
+  if (status.ok()) return;
+  std::cerr << "error: " << status << "\n";
+  std::exit(1);
+}
+
+template <typename T>
+T Check(mad::Result<T> result) {
+  Check(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  mad::Database db("library");
+  mad::mql::Session session(&db);
+
+  // 1. Schema: authors, books, and a symmetric link between them. One link
+  //    type captures the n:m relationship directly — no junction table.
+  Check(session
+            .ExecuteScript(
+                "CREATE ATOM TYPE author (name STRING, born INT64);"
+                "CREATE ATOM TYPE book (title STRING, year INT64);"
+                "CREATE LINK TYPE wrote (author, book);")
+            .status());
+
+  // 2. Data. Co-authored books simply get two links: molecules may share
+  //    subobjects.
+  Check(session
+            .ExecuteScript(
+                "INSERT INTO author VALUES ('Codd', 1923), ('Date', 1941);"
+                "INSERT INTO book VALUES"
+                "  ('A Relational Model of Data', 1970),"
+                "  ('The Relational Model for Database Management', 1990),"
+                "  ('Foundation for Object/Relational Databases', 1998);"
+                "INSERT LINK wrote FROM (name = 'Codd')"
+                "  TO (year <= 1990);"
+                "INSERT LINK wrote FROM (name = 'Date')"
+                "  TO (title = 'Foundation for Object/Relational Databases');"
+                "INSERT LINK wrote FROM (name = 'Date')"
+                "  TO (year = 1990);")
+            .status());
+
+  std::cout << mad::text::FormatMadDiagram(db) << "\n";
+
+  // 3. A molecule query: one complex object per author, holding the
+  //    author's books. The object shape lives in the query, not the schema.
+  auto result = Check(session.Execute(
+      "SELECT ALL FROM oeuvre(author-book) WHERE book.year >= 1970;"));
+  std::cout << mad::text::FormatMoleculeType(db, *result.molecules, 10) << "\n";
+
+  // 4. The symmetric direction needs no schema change: books with their
+  //    authors. The 1990 book is a shared subobject of both author
+  //    molecules above — and here it simply becomes a root.
+  auto by_book = Check(session.Execute(
+      "SELECT ALL FROM book-author WHERE author.name = 'Date';"));
+  std::cout << "books involving Date: " << by_book.molecules->size() << "\n";
+  std::cout << mad::text::FormatMoleculeType(db, *by_book.molecules, 10);
+  return 0;
+}

@@ -1,0 +1,104 @@
+#ifndef MAD_ALGEBRA_ATOM_ALGEBRA_H_
+#define MAD_ALGEBRA_ATOM_ALGEBRA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+namespace algebra {
+
+/// Result handle of an atom-type operation: the freshly created atom type
+/// plus the link types inherited onto it (Def. 4 commentary: "the link types
+/// of the operand atom types are 'inherited' to the resulting atom type",
+/// which is what keeps results usable for molecule derivation).
+struct OpResult {
+  std::string atom_type;
+  std::vector<std::string> inherited_link_types;
+};
+
+/// Tuning knobs shared by all atom-type operations.
+struct AlgebraOptions {
+  /// Inherit operand link types onto the result (on by default, as in the
+  /// paper). Switching this off makes results plain relations — the
+  /// relational degeneration of Fig. 3.
+  bool inherit_links = true;
+};
+
+/// Atom-type projection π[proj(ad)](at).
+///
+/// Result atoms keep the identity of their source atom (the MAD model's
+/// atoms are identity-bearing, so projection does not collapse duplicates;
+/// the relational module provides the duplicate-eliminating variant).
+/// If `result_name` is empty a unique name "project(<source>)" is chosen.
+Result<OpResult> Project(Database& db, const std::string& source,
+                         const std::vector<std::string>& attributes,
+                         const std::string& result_name = "",
+                         const AlgebraOptions& options = {});
+
+/// Atom-type restriction σ[restr(ad)](at). The predicate references the
+/// operand's attributes (optionally qualified with the operand name).
+/// Result atoms keep their identity; the result occurrence is a subset.
+Result<OpResult> Restrict(Database& db, const std::string& source,
+                          const expr::ExprPtr& predicate,
+                          const std::string& result_name = "",
+                          const AlgebraOptions& options = {});
+
+/// Attribute renaming (a standard relational-algebra extension, provided so
+/// the disjointness precondition of × can always be established). Result
+/// atoms keep their identity; `renames` maps old to new attribute names.
+Result<OpResult> Rename(Database& db, const std::string& source,
+                        const std::vector<std::pair<std::string, std::string>>&
+                            renames,
+                        const std::string& result_name = "",
+                        const AlgebraOptions& options = {});
+
+/// Cartesian product ×(at1, at2). Requires disjoint attribute names
+/// (Def. 4). Result atoms are fresh (a1 & a2 concatenations) and inherit
+/// the links of *both* components.
+Result<OpResult> CartesianProduct(Database& db, const std::string& left,
+                                  const std::string& right,
+                                  const std::string& result_name = "",
+                                  const AlgebraOptions& options = {});
+
+/// Derived theta-join: σ[pred](×(at1, at2)) evaluated pairwise without
+/// materializing the full product. The predicate references attributes of
+/// either operand (qualify with the operand's type name on ambiguity);
+/// link inheritance matches ×, restricted to the surviving pairs.
+Result<OpResult> Join(Database& db, const std::string& left,
+                      const std::string& right,
+                      const expr::ExprPtr& predicate,
+                      const std::string& result_name = "",
+                      const AlgebraOptions& options = {});
+
+/// Atom-type union ω(at1, at2). Requires identical descriptions; the result
+/// occurrence is the id-based set union (on an id collision the left
+/// operand's values win — the ids denote the same entity).
+Result<OpResult> Union(Database& db, const std::string& left,
+                       const std::string& right,
+                       const std::string& result_name = "",
+                       const AlgebraOptions& options = {});
+
+/// Atom-type difference δ(at1, at2): atoms of `left` whose id does not
+/// occur in `right`. Requires identical descriptions.
+Result<OpResult> Difference(Database& db, const std::string& left,
+                            const std::string& right,
+                            const std::string& result_name = "",
+                            const AlgebraOptions& options = {});
+
+/// Derived intersection: δ(at1, δ(at1, at2)). Provided for convenience and
+/// exercised by the closure tests; the intermediate difference is dropped
+/// from the database afterwards.
+Result<OpResult> Intersection(Database& db, const std::string& left,
+                              const std::string& right,
+                              const std::string& result_name = "",
+                              const AlgebraOptions& options = {});
+
+}  // namespace algebra
+}  // namespace mad
+
+#endif  // MAD_ALGEBRA_ATOM_ALGEBRA_H_

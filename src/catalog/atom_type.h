@@ -1,0 +1,39 @@
+#ifndef MAD_CATALOG_ATOM_TYPE_H_
+#define MAD_CATALOG_ATOM_TYPE_H_
+
+#include <string>
+#include <utility>
+
+#include "core/schema.h"
+#include "storage/atom_store.h"
+
+namespace mad {
+
+/// An atom type (Def. 1): the triple <aname, ad, av> — name, description
+/// (Schema), and occurrence (AtomStore). Owned by a Database; the Database
+/// guarantees name uniqueness (atyp is a function).
+class AtomType {
+ public:
+  AtomType(std::string name, Schema description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  AtomType(const AtomType&) = delete;
+  AtomType& operator=(const AtomType&) = delete;
+
+  /// nam(at)
+  const std::string& name() const { return name_; }
+  /// des(at)
+  const Schema& description() const { return description_; }
+  /// ext(at)
+  const AtomStore& occurrence() const { return occurrence_; }
+  AtomStore& mutable_occurrence() { return occurrence_; }
+
+ private:
+  std::string name_;
+  Schema description_;
+  AtomStore occurrence_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_CATALOG_ATOM_TYPE_H_

@@ -1,0 +1,43 @@
+#include "catalog/link_type.h"
+
+#include "util/string_util.h"
+
+namespace mad {
+
+const char* LinkCardinalityName(LinkCardinality cardinality) {
+  switch (cardinality) {
+    case LinkCardinality::kOneToOne:
+      return "1:1";
+    case LinkCardinality::kOneToMany:
+      return "1:n";
+    case LinkCardinality::kManyToOne:
+      return "n:1";
+    case LinkCardinality::kManyToMany:
+      return "n:m";
+  }
+  return "n:m";
+}
+
+bool ParseLinkCardinality(std::string_view text, LinkCardinality* out) {
+  auto is_one = [](char c) { return c == '1'; };
+  auto is_many = [](char c) {
+    return c == 'n' || c == 'N' || c == 'm' || c == 'M' || c == '*';
+  };
+  if (text.size() != 3 || text[1] != ':') return false;
+  char a = text[0];
+  char b = text[2];
+  if (is_one(a) && is_one(b)) {
+    *out = LinkCardinality::kOneToOne;
+  } else if (is_one(a) && is_many(b)) {
+    *out = LinkCardinality::kOneToMany;
+  } else if (is_many(a) && is_one(b)) {
+    *out = LinkCardinality::kManyToOne;
+  } else if (is_many(a) && is_many(b)) {
+    *out = LinkCardinality::kManyToMany;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mad

@@ -1,0 +1,80 @@
+#ifndef MAD_CATALOG_LINK_TYPE_H_
+#define MAD_CATALOG_LINK_TYPE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "storage/link_store.h"
+
+namespace mad {
+
+/// Cardinality restriction of an extended link-type definition (the Ch. 3.1
+/// remark: "it is even possible to control cardinality restrictions
+/// specified in an extended link-type definition"). The first symbol bounds
+/// how many second-role partners a first-role atom may have; the second
+/// symbol the converse.
+enum class LinkCardinality {
+  kOneToOne,    ///< 1:1 — at most one partner on either side
+  kOneToMany,   ///< 1:n — a second-role atom has at most one first partner
+  kManyToOne,   ///< n:1 — a first-role atom has at most one second partner
+  kManyToMany,  ///< n:m — unrestricted (the default, Def. 2)
+};
+
+const char* LinkCardinalityName(LinkCardinality cardinality);
+
+/// Parses "1:1", "1:n", "n:1", "n:m" (case-insensitive, 'm'/'n'
+/// interchangeable on the many side); kManyToMany on anything else is an
+/// error signalled by the bool.
+bool ParseLinkCardinality(std::string_view text, LinkCardinality* out);
+
+/// A link type (Def. 2): the triple <lname, ld, lv> — name, description
+/// (the two connected atom-type names), and occurrence (LinkStore).
+///
+/// Link types are the MAD model's replacement for relational foreign keys:
+/// relationships are explicit, symmetric (traversable from either end), and
+/// referential integrity is enforced structurally by the Database. Several
+/// link types may connect the same pair of atom types, and a link type may
+/// be reflexive (both ends the same atom type).
+class LinkType {
+ public:
+  LinkType(std::string name, std::string first_atom_type,
+           std::string second_atom_type,
+           LinkCardinality cardinality = LinkCardinality::kManyToMany)
+      : name_(std::move(name)),
+        first_atom_type_(std::move(first_atom_type)),
+        second_atom_type_(std::move(second_atom_type)),
+        cardinality_(cardinality) {}
+
+  LinkType(const LinkType&) = delete;
+  LinkType& operator=(const LinkType&) = delete;
+
+  /// nam(lt)
+  const std::string& name() const { return name_; }
+  /// des(lt) — the atom type of the first link role.
+  const std::string& first_atom_type() const { return first_atom_type_; }
+  /// des(lt) — the atom type of the second link role.
+  const std::string& second_atom_type() const { return second_atom_type_; }
+  bool reflexive() const { return first_atom_type_ == second_atom_type_; }
+  LinkCardinality cardinality() const { return cardinality_; }
+
+  /// True iff `aname` is one of the connected atom types.
+  bool Touches(const std::string& aname) const {
+    return first_atom_type_ == aname || second_atom_type_ == aname;
+  }
+
+  /// ext(lt)
+  const LinkStore& occurrence() const { return occurrence_; }
+  LinkStore& mutable_occurrence() { return occurrence_; }
+
+ private:
+  std::string name_;
+  std::string first_atom_type_;
+  std::string second_atom_type_;
+  LinkCardinality cardinality_ = LinkCardinality::kManyToMany;
+  LinkStore occurrence_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_CATALOG_LINK_TYPE_H_

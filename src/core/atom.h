@@ -1,0 +1,49 @@
+#ifndef MAD_CORE_ATOM_H_
+#define MAD_CORE_ATOM_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace mad {
+
+/// Globally unique, stable atom identity (Def. 1: "each atom ... is uniquely
+/// identifiable"). Ids are assigned by the owning Database and never reused.
+///
+/// Identity is *entity* identity: restriction results and propagated atom
+/// types (Def. 9) contain the same atoms — same ids — with possibly fewer
+/// attributes, which is what makes link-type inheritance well defined.
+struct AtomId {
+  uint64_t value = 0;
+
+  static constexpr AtomId Invalid() { return AtomId{0}; }
+  bool valid() const { return value != 0; }
+
+  auto operator<=>(const AtomId&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, AtomId id) {
+  return os << "#" << id.value;
+}
+
+/// An atom: identity plus one value per attribute of its atom type's
+/// description, positionally aligned with the Schema.
+struct Atom {
+  AtomId id;
+  std::vector<Value> values;
+};
+
+}  // namespace mad
+
+template <>
+struct std::hash<mad::AtomId> {
+  size_t operator()(mad::AtomId id) const noexcept {
+    return std::hash<uint64_t>{}(id.value);
+  }
+};
+
+#endif  // MAD_CORE_ATOM_H_

@@ -1,0 +1,39 @@
+#include "core/data_type.h"
+
+#include "util/string_util.h"
+
+namespace mad {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kBool:
+      return "BOOL";
+  }
+  return "NULL";
+}
+
+DataType DataTypeFromName(std::string_view name) {
+  if (EqualsIgnoreCase(name, "INT64") || EqualsIgnoreCase(name, "INT")) {
+    return DataType::kInt64;
+  }
+  if (EqualsIgnoreCase(name, "DOUBLE") || EqualsIgnoreCase(name, "FLOAT")) {
+    return DataType::kDouble;
+  }
+  if (EqualsIgnoreCase(name, "STRING") || EqualsIgnoreCase(name, "TEXT")) {
+    return DataType::kString;
+  }
+  if (EqualsIgnoreCase(name, "BOOL") || EqualsIgnoreCase(name, "BOOLEAN")) {
+    return DataType::kBool;
+  }
+  return DataType::kNull;
+}
+
+}  // namespace mad

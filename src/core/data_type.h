@@ -1,0 +1,27 @@
+#ifndef MAD_CORE_DATA_TYPE_H_
+#define MAD_CORE_DATA_TYPE_H_
+
+#include <string_view>
+
+namespace mad {
+
+/// Attribute data types supported by atom-type descriptions (Def. 1 speaks
+/// of "attributes of various data types"; this is the concrete set).
+enum class DataType {
+  kNull = 0,  ///< Type of the untyped null value only; not declarable.
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+};
+
+/// Stable name, e.g. "INT64".
+const char* DataTypeName(DataType type);
+
+/// Parses "INT64"/"DOUBLE"/"STRING"/"BOOL" (case-insensitive); returns
+/// kNull on failure.
+DataType DataTypeFromName(std::string_view name);
+
+}  // namespace mad
+
+#endif  // MAD_CORE_DATA_TYPE_H_

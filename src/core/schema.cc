@@ -1,0 +1,108 @@
+#include "core/schema.h"
+
+#include <cassert>
+
+namespace mad {
+
+Schema::Schema(std::vector<AttributeDescription> attributes) {
+  for (AttributeDescription& attr : attributes) {
+    Status s = AddAttribute(attr.name, attr.type);
+    assert(s.ok() && "duplicate attribute name in Schema constructor");
+    (void)s;
+  }
+}
+
+Status Schema::AddAttribute(const std::string& name, DataType type) {
+  if (type == DataType::kNull) {
+    return Status::InvalidArgument("attribute '" + name +
+                                   "' must have a declarable data type");
+  }
+  if (index_.count(name) > 0) {
+    return Status::AlreadyExists("duplicate attribute name '" + name + "'");
+  }
+  index_[name] = attributes_.size();
+  attributes_.push_back(AttributeDescription{name, type});
+  return Status::OK();
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown attribute '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::HasAttribute(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  Schema out;
+  for (const std::string& name : names) {
+    MAD_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+    MAD_RETURN_IF_ERROR(out.AddAttribute(name, attributes_[idx].type));
+  }
+  return out;
+}
+
+Result<Schema> Schema::ConcatDisjoint(const Schema& other) const {
+  Schema out = *this;
+  for (const AttributeDescription& attr : other.attributes_) {
+    if (out.HasAttribute(attr.name)) {
+      return Status::InvalidArgument(
+          "cartesian product requires disjoint attribute sets; '" + attr.name +
+          "' occurs in both operands");
+    }
+    MAD_RETURN_IF_ERROR(out.AddAttribute(attr.name, attr.type));
+  }
+  return out;
+}
+
+Status Schema::RenameAttribute(const std::string& from, const std::string& to) {
+  auto it = index_.find(from);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown attribute '" + from + "'");
+  }
+  if (from == to) return Status::OK();
+  if (index_.count(to) > 0) {
+    return Status::AlreadyExists("attribute '" + to + "' already exists");
+  }
+  size_t idx = it->second;
+  index_.erase(it);
+  index_[to] = idx;
+  attributes_[idx].name = to;
+  return Status::OK();
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& values) const {
+  if (values.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) +
+        " does not match schema arity " + std::to_string(attributes_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) continue;
+    if (values[i].type() != attributes_[i].type) {
+      return Status::InvalidArgument(
+          "attribute '" + attributes_[i].name + "' expects " +
+          DataTypeName(attributes_[i].type) + " but got " +
+          DataTypeName(values[i].type()) + " (" + values[i].ToString() + ")");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ": ";
+    out += DataTypeName(attributes_[i].type);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mad

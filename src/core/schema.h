@@ -1,0 +1,81 @@
+#ifndef MAD_CORE_SCHEMA_H_
+#define MAD_CORE_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/data_type.h"
+#include "core/value.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// One attribute description: name + data type (Def. 1).
+struct AttributeDescription {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const AttributeDescription& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An atom-type description (Def. 1): an ordered set of attribute
+/// descriptions with unique names. Also reused as the relational "relation
+/// schema" (Fig. 3 maps the two concepts one-to-one).
+class Schema {
+ public:
+  Schema() = default;
+  /// Convenience constructor; duplicate names assert via AddAttribute in
+  /// debug builds — use AddAttribute for checked construction.
+  explicit Schema(std::vector<AttributeDescription> attributes);
+
+  /// Appends an attribute; fails on duplicate names.
+  Status AddAttribute(const std::string& name, DataType type);
+
+  size_t attribute_count() const { return attributes_.size(); }
+  const std::vector<AttributeDescription>& attributes() const {
+    return attributes_;
+  }
+  const AttributeDescription& attribute(size_t index) const {
+    return attributes_[index];
+  }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool HasAttribute(const std::string& name) const;
+
+  /// The projected schema keeping exactly `names` in the given order
+  /// (Def. 4, proj(ad) ⊆ ad). Fails if a name is unknown or repeated.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// Concatenation for the cartesian product (Def. 4 requires the operand
+  /// descriptions to be disjoint in pairs); fails on a name collision.
+  Result<Schema> ConcatDisjoint(const Schema& other) const;
+
+  /// Renames one attribute; fails if `from` is unknown or `to` exists.
+  Status RenameAttribute(const std::string& from, const std::string& to);
+
+  /// True iff both schemas have the same attributes in the same order —
+  /// the precondition of union/difference (Def. 4: ad1 = ad2).
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// Checks that `values` matches this schema positionally (arity and, for
+  /// non-null values, data type).
+  Status ValidateRow(const std::vector<Value>& values) const;
+
+  /// e.g. "{name: STRING, hectare: INT64}".
+  std::string ToString() const;
+
+ private:
+  std::vector<AttributeDescription> attributes_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_CORE_SCHEMA_H_

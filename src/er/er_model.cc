@@ -1,0 +1,182 @@
+#include "er/er_model.h"
+
+namespace mad {
+namespace er {
+
+const char* CardinalityName(Cardinality c) {
+  switch (c) {
+    case Cardinality::kOneToOne:
+      return "1:1";
+    case Cardinality::kOneToMany:
+      return "1:n";
+    case Cardinality::kManyToMany:
+      return "n:m";
+  }
+  return "?";
+}
+
+Status ErSchema::AddEntityType(const std::string& name, Schema attributes) {
+  if (name.empty()) {
+    return Status::InvalidArgument("entity type name must be non-empty");
+  }
+  if (entity_index_.count(name) > 0) {
+    return Status::AlreadyExists("entity type '" + name + "' already defined");
+  }
+  entity_index_[name] = entities_.size();
+  entities_.push_back(EntityType{name, std::move(attributes)});
+  return Status::OK();
+}
+
+Status ErSchema::AddRelationshipType(const std::string& name,
+                                     const std::string& left,
+                                     const std::string& right,
+                                     Cardinality cardinality) {
+  if (relationship_index_.count(name) > 0) {
+    return Status::AlreadyExists("relationship type '" + name +
+                                 "' already defined");
+  }
+  if (entity_index_.count(left) == 0 || entity_index_.count(right) == 0) {
+    return Status::NotFound("relationship type '" + name +
+                            "' references an unknown entity type");
+  }
+  relationship_index_[name] = relationships_.size();
+  relationships_.push_back(RelationshipType{name, left, right, cardinality});
+  return Status::OK();
+}
+
+Status MapToMad(const ErSchema& er, Database& db) {
+  // Entity type -> atom type; relationship type -> link type. Cardinality
+  // needs no auxiliary structure: link types capture 1:1, 1:n and n:m
+  // uniformly (Def. 2 commentary).
+  for (const EntityType& entity : er.entity_types()) {
+    MAD_RETURN_IF_ERROR(db.DefineAtomType(entity.name, entity.attributes));
+  }
+  for (const RelationshipType& rel : er.relationship_types()) {
+    LinkCardinality cardinality = LinkCardinality::kManyToMany;
+    switch (rel.cardinality) {
+      case Cardinality::kOneToOne:
+        cardinality = LinkCardinality::kOneToOne;
+        break;
+      case Cardinality::kOneToMany:
+        cardinality = LinkCardinality::kOneToMany;
+        break;
+      case Cardinality::kManyToMany:
+        cardinality = LinkCardinality::kManyToMany;
+        break;
+    }
+    MAD_RETURN_IF_ERROR(
+        db.DefineLinkType(rel.name, rel.left, rel.right, cardinality));
+  }
+  return Status::OK();
+}
+
+Result<rel::RelationalDatabase> MapToRelational(const ErSchema& er) {
+  rel::RelationalDatabase out("er_rel");
+
+  // Collect per-entity foreign keys first (1:1 and 1:n add a column on the
+  // right-hand side).
+  std::map<std::string, std::vector<std::string>> foreign_keys;
+  for (const RelationshipType& rel : er.relationship_types()) {
+    if (rel.cardinality != Cardinality::kManyToMany) {
+      foreign_keys[rel.right].push_back("_" + rel.name + "_ref");
+    }
+  }
+
+  for (const EntityType& entity : er.entity_types()) {
+    Schema schema;
+    MAD_RETURN_IF_ERROR(schema.AddAttribute("_id", DataType::kInt64));
+    for (const AttributeDescription& attr : entity.attributes.attributes()) {
+      MAD_RETURN_IF_ERROR(schema.AddAttribute(attr.name, attr.type));
+    }
+    auto it = foreign_keys.find(entity.name);
+    if (it != foreign_keys.end()) {
+      for (const std::string& fk : it->second) {
+        MAD_RETURN_IF_ERROR(schema.AddAttribute(fk, DataType::kInt64));
+      }
+    }
+    MAD_RETURN_IF_ERROR(out.Define(entity.name, std::move(schema)));
+  }
+
+  for (const RelationshipType& rel : er.relationship_types()) {
+    if (rel.cardinality != Cardinality::kManyToMany) continue;
+    Schema schema;
+    MAD_RETURN_IF_ERROR(schema.AddAttribute("_from", DataType::kInt64));
+    MAD_RETURN_IF_ERROR(schema.AddAttribute("_to", DataType::kInt64));
+    MAD_RETURN_IF_ERROR(out.Define(rel.name, std::move(schema)));
+  }
+  return out;
+}
+
+Result<MappingReport> CompareMappings(const ErSchema& er) {
+  MappingReport report;
+  report.er_entity_types = er.entity_types().size();
+  report.er_relationship_types = er.relationship_types().size();
+
+  // MAD side: strictly one-to-one.
+  Database mad_db("er_mad");
+  MAD_RETURN_IF_ERROR(MapToMad(er, mad_db));
+  report.mad_atom_types = mad_db.atom_type_count();
+  report.mad_link_types = mad_db.link_type_count();
+
+  // Relational side.
+  MAD_ASSIGN_OR_RETURN(rel::RelationalDatabase rel_db, MapToRelational(er));
+  report.rel_relations = rel_db.relation_count();
+  for (const RelationshipType& rel : er.relationship_types()) {
+    if (rel.cardinality == Cardinality::kManyToMany) {
+      ++report.rel_auxiliary_relations;
+    } else {
+      ++report.rel_foreign_key_columns;
+    }
+  }
+  return report;
+}
+
+ErSchema Figure1ErSchema() {
+  ErSchema er;
+  auto named = [] {
+    Schema s;
+    Status st = s.AddAttribute("name", DataType::kString);
+    (void)st;
+    return s;
+  };
+
+  Schema state = named();
+  Status st = state.AddAttribute("hectare", DataType::kInt64);
+  (void)st;
+  Schema river = named();
+  st = river.AddAttribute("length", DataType::kInt64);
+  (void)st;
+  Schema area = named();
+  st = area.AddAttribute("hectare", DataType::kInt64);
+  (void)st;
+  Schema point = named();
+  st = point.AddAttribute("x", DataType::kDouble);
+  (void)st;
+  st = point.AddAttribute("y", DataType::kDouble);
+  (void)st;
+
+  st = er.AddEntityType("state", std::move(state));
+  st = er.AddEntityType("city", named());
+  st = er.AddEntityType("river", std::move(river));
+  st = er.AddEntityType("area", std::move(area));
+  st = er.AddEntityType("net", named());
+  st = er.AddEntityType("edge", named());
+  st = er.AddEntityType("point", std::move(point));
+
+  st = er.AddRelationshipType("state-area", "state", "area",
+                              Cardinality::kOneToOne);
+  st = er.AddRelationshipType("city-point", "city", "point",
+                              Cardinality::kOneToOne);
+  st = er.AddRelationshipType("river-net", "river", "net",
+                              Cardinality::kOneToOne);
+  st = er.AddRelationshipType("area-edge", "area", "edge",
+                              Cardinality::kManyToMany);
+  st = er.AddRelationshipType("net-edge", "net", "edge",
+                              Cardinality::kManyToMany);
+  st = er.AddRelationshipType("edge-point", "edge", "point",
+                              Cardinality::kManyToMany);
+  return er;
+}
+
+}  // namespace er
+}  // namespace mad

@@ -1,0 +1,194 @@
+#include "expr/eval.h"
+
+namespace mad {
+namespace expr {
+
+namespace {
+
+Result<Value> EvalCompare(const Expr& expr, const BindingSet& bindings) {
+  MAD_ASSIGN_OR_RETURN(Value lhs, EvalValue(*expr.left(), bindings));
+  MAD_ASSIGN_OR_RETURN(Value rhs, EvalValue(*expr.right(), bindings));
+
+  // Guard against comparing unrelated types: only equal types, numeric
+  // pairs, and nulls are comparable.
+  auto numeric = [](DataType t) {
+    return t == DataType::kInt64 || t == DataType::kDouble;
+  };
+  if (!lhs.is_null() && !rhs.is_null() && lhs.type() != rhs.type() &&
+      !(numeric(lhs.type()) && numeric(rhs.type()))) {
+    return Status::InvalidArgument("cannot compare " + lhs.ToString() +
+                                   " with " + rhs.ToString());
+  }
+
+  int cmp = lhs.Compare(rhs);
+  bool result = false;
+  switch (expr.compare_op()) {
+    case CompareOp::kEq:
+      result = cmp == 0;
+      break;
+    case CompareOp::kNe:
+      result = cmp != 0;
+      break;
+    case CompareOp::kLt:
+      result = cmp < 0;
+      break;
+    case CompareOp::kLe:
+      result = cmp <= 0;
+      break;
+    case CompareOp::kGt:
+      result = cmp > 0;
+      break;
+    case CompareOp::kGe:
+      result = cmp >= 0;
+      break;
+  }
+  return Value(result);
+}
+
+Result<Value> EvalArith(const Expr& expr, const BindingSet& bindings) {
+  MAD_ASSIGN_OR_RETURN(Value lhs, EvalValue(*expr.left(), bindings));
+  MAD_ASSIGN_OR_RETURN(Value rhs, EvalValue(*expr.right(), bindings));
+
+  bool both_int =
+      lhs.type() == DataType::kInt64 && rhs.type() == DataType::kInt64;
+  if (both_int) {
+    int64_t a = lhs.AsInt64();
+    int64_t b = rhs.AsInt64();
+    switch (expr.arith_op()) {
+      case ArithOp::kAdd:
+        return Value(a + b);
+      case ArithOp::kSub:
+        return Value(a - b);
+      case ArithOp::kMul:
+        return Value(a * b);
+      case ArithOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value(a / b);
+    }
+  }
+  MAD_ASSIGN_OR_RETURN(double a, lhs.ToNumeric());
+  MAD_ASSIGN_OR_RETURN(double b, rhs.ToNumeric());
+  switch (expr.arith_op()) {
+    case ArithOp::kAdd:
+      return Value(a + b);
+    case ArithOp::kSub:
+      return Value(a - b);
+    case ArithOp::kMul:
+      return Value(a * b);
+    case ArithOp::kDiv:
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      return Value(a / b);
+  }
+  return Status::Internal("unknown arithmetic operator");
+}
+
+}  // namespace
+
+Result<Value> BindingSet::Resolve(const std::string& qualifier,
+                                  const std::string& attribute) const {
+  if (!qualifier.empty()) {
+    auto it = bindings_.find(qualifier);
+    if (it == bindings_.end()) {
+      return Status::NotFound("unbound qualifier '" + qualifier + "' in '" +
+                              qualifier + "." + attribute + "'");
+    }
+    MAD_ASSIGN_OR_RETURN(size_t idx, it->second.schema->IndexOf(attribute));
+    return it->second.atom->values[idx];
+  }
+  // Unqualified: the attribute must occur in exactly one binding.
+  const AtomBinding* hit = nullptr;
+  std::string hit_qualifier;
+  for (const auto& [name, binding] : bindings_) {
+    if (!binding.schema->HasAttribute(attribute)) continue;
+    if (hit != nullptr) {
+      return Status::InvalidArgument("ambiguous attribute '" + attribute +
+                                     "' (occurs in '" + hit_qualifier +
+                                     "' and '" + name + "')");
+    }
+    hit = &binding;
+    hit_qualifier = name;
+  }
+  if (hit == nullptr) {
+    return Status::NotFound("unknown attribute '" + attribute + "'");
+  }
+  MAD_ASSIGN_OR_RETURN(size_t idx, hit->schema->IndexOf(attribute));
+  return hit->atom->values[idx];
+}
+
+Result<Value> EvalValue(const Expr& expr, const BindingSet& bindings) {
+  switch (expr.kind()) {
+    case Expr::Kind::kLiteral:
+      return expr.literal();
+    case Expr::Kind::kAttrRef:
+      return bindings.Resolve(expr.qualifier(), expr.attribute());
+    case Expr::Kind::kCompare:
+      return EvalCompare(expr, bindings);
+    case Expr::Kind::kArith:
+      return EvalArith(expr, bindings);
+    case Expr::Kind::kAnd: {
+      MAD_ASSIGN_OR_RETURN(bool lhs, EvalPredicate(*expr.left(), bindings));
+      if (!lhs) return Value(false);
+      MAD_ASSIGN_OR_RETURN(bool rhs, EvalPredicate(*expr.right(), bindings));
+      return Value(rhs);
+    }
+    case Expr::Kind::kOr: {
+      MAD_ASSIGN_OR_RETURN(bool lhs, EvalPredicate(*expr.left(), bindings));
+      if (lhs) return Value(true);
+      MAD_ASSIGN_OR_RETURN(bool rhs, EvalPredicate(*expr.right(), bindings));
+      return Value(rhs);
+    }
+    case Expr::Kind::kNot: {
+      MAD_ASSIGN_OR_RETURN(bool operand, EvalPredicate(*expr.left(), bindings));
+      return Value(!operand);
+    }
+    case Expr::Kind::kCount:
+      return Status::InvalidArgument(
+          "COUNT(" + expr.qualifier() +
+          ") is only valid in molecule-scope qualification");
+    case Expr::Kind::kForAll:
+      return Status::InvalidArgument(
+          "FORALL is only valid in molecule-scope qualification");
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const BindingSet& bindings) {
+  MAD_ASSIGN_OR_RETURN(Value v, EvalValue(expr, bindings));
+  if (v.type() != DataType::kBool) {
+    return Status::InvalidArgument("predicate evaluated to non-boolean " +
+                                   v.ToString());
+  }
+  return v.AsBool();
+}
+
+Result<bool> EvalOnAtom(const Expr& expr, const std::string& type_name,
+                        const Schema& schema, const Atom& atom) {
+  BindingSet bindings;
+  bindings.Bind(type_name, &schema, &atom);
+  return EvalPredicate(expr, bindings);
+}
+
+Status ValidateAgainstSchema(const Expr& expr, const std::string& type_name,
+                             const Schema& schema) {
+  std::vector<const Expr*> refs;
+  expr.CollectAttrRefs(&refs);
+  for (const Expr* ref : refs) {
+    if (!ref->qualifier().empty() && ref->qualifier() != type_name) {
+      return Status::InvalidArgument("qualifier '" + ref->qualifier() +
+                                     "' does not match atom type '" +
+                                     type_name + "'");
+    }
+    if (!schema.HasAttribute(ref->attribute())) {
+      return Status::NotFound("unknown attribute '" + ref->attribute() +
+                              "' in atom type '" + type_name + "'");
+    }
+  }
+  if (!expr.IsPredicate()) {
+    return Status::InvalidArgument("expression " + expr.ToString() +
+                                   " is not a predicate");
+  }
+  return Status::OK();
+}
+
+}  // namespace expr
+}  // namespace mad

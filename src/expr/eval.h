@@ -1,0 +1,67 @@
+#ifndef MAD_EXPR_EVAL_H_
+#define MAD_EXPR_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "core/atom.h"
+#include "core/schema.h"
+#include "expr/expr.h"
+#include "util/result.h"
+
+namespace mad {
+namespace expr {
+
+/// One bound atom visible to the evaluator under a qualifier name.
+struct AtomBinding {
+  const Schema* schema = nullptr;
+  const Atom* atom = nullptr;
+};
+
+/// The set of atoms an expression is evaluated against. In atom scope (the
+/// atom-type restriction of Def. 4) exactly one binding exists; in molecule
+/// scope the molecule layer binds one atom per referenced atom type.
+class BindingSet {
+ public:
+  void Bind(const std::string& qualifier, const Schema* schema,
+            const Atom* atom) {
+    bindings_[qualifier] = AtomBinding{schema, atom};
+  }
+
+  /// Resolves `qualifier.attribute`; an empty qualifier searches all
+  /// bindings and fails if the attribute name is absent or ambiguous.
+  Result<Value> Resolve(const std::string& qualifier,
+                        const std::string& attribute) const;
+
+  const std::map<std::string, AtomBinding>& bindings() const {
+    return bindings_;
+  }
+
+ private:
+  std::map<std::string, AtomBinding> bindings_;
+};
+
+/// Evaluates a value expression (literal / attribute / arithmetic /
+/// comparison / boolean connective) under `bindings`. Comparisons and
+/// connectives yield BOOL values.
+Result<Value> EvalValue(const Expr& expr, const BindingSet& bindings);
+
+/// Evaluates `expr` as a predicate: like EvalValue but requires a BOOL
+/// result (the paper's qual(restr, a)).
+Result<bool> EvalPredicate(const Expr& expr, const BindingSet& bindings);
+
+/// Atom-scope convenience: binds a single atom under `type_name` and
+/// evaluates (supports both `attr` and `type_name.attr` references).
+Result<bool> EvalOnAtom(const Expr& expr, const std::string& type_name,
+                        const Schema& schema, const Atom& atom);
+
+/// Static check that every attribute reference in `expr` resolves against
+/// `schema` when bound under `type_name`, with type-compatible comparisons
+/// left to evaluation. Used by σ before scanning.
+Status ValidateAgainstSchema(const Expr& expr, const std::string& type_name,
+                             const Schema& schema);
+
+}  // namespace expr
+}  // namespace mad
+
+#endif  // MAD_EXPR_EVAL_H_

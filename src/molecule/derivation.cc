@@ -1,0 +1,232 @@
+#include "molecule/derivation.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/digraph.h"
+
+namespace mad {
+
+namespace {
+
+/// Pre-resolved traversal plan: one entry per directed link of the
+/// description, holding everything derivation needs without further name
+/// lookups.
+struct ResolvedEdge {
+  size_t from_node = 0;
+  size_t to_node = 0;
+  const LinkStore* store = nullptr;
+  LinkDirection direction = LinkDirection::kForward;
+};
+
+struct Plan {
+  std::vector<ResolvedEdge> edges;
+  std::vector<size_t> node_order;  // node indexes in topo order
+};
+
+Result<Plan> MakePlan(const Database& db, const MoleculeDescription& md) {
+  Plan plan;
+  plan.edges.reserve(md.links().size());
+  for (const DirectedLink& dl : md.links()) {
+    ResolvedEdge edge;
+    MAD_ASSIGN_OR_RETURN(edge.from_node, md.NodeIndex(dl.from));
+    MAD_ASSIGN_OR_RETURN(edge.to_node, md.NodeIndex(dl.to));
+    MAD_ASSIGN_OR_RETURN(const LinkType* lt, db.GetLinkType(dl.link_type));
+    edge.store = &lt->occurrence();
+    edge.direction =
+        dl.reverse ? LinkDirection::kBackward : LinkDirection::kForward;
+    plan.edges.push_back(edge);
+  }
+  plan.node_order.reserve(md.topo_order().size());
+  for (const std::string& label : md.topo_order()) {
+    MAD_ASSIGN_OR_RETURN(size_t idx, md.NodeIndex(label));
+    plan.node_order.push_back(idx);
+  }
+  return plan;
+}
+
+/// Grows the maximal molecule for one root atom (the `contained`/`total`
+/// semantics of Def. 6). Nodes are processed in topological order, so every
+/// parent group is complete before its children are computed; an atom joins
+/// a node's group iff it has a contained parent through *every* incoming
+/// directed link type (conjunctive ∀-semantics).
+Molecule DeriveOne(const MoleculeDescription& md, const Plan& plan,
+                   AtomId root) {
+  Molecule m(root, md.nodes().size());
+  std::vector<std::unordered_set<AtomId>> members(md.nodes().size());
+
+  size_t root_idx = plan.node_order[0];
+  m.MutableAtomsOf(root_idx).push_back(root);
+  members[root_idx].insert(root);
+
+  for (size_t oi = 1; oi < plan.node_order.size(); ++oi) {
+    size_t node_idx = plan.node_order[oi];
+    const std::string& label = md.nodes()[node_idx].label;
+    const std::vector<size_t>& in_edges = md.InLinksOf(label);
+
+    std::vector<AtomId> order;
+    std::unordered_map<AtomId, size_t> hits;
+    for (size_t edge_idx : in_edges) {
+      const ResolvedEdge& edge = plan.edges[edge_idx];
+      std::unordered_set<AtomId> seen_this_edge;
+      for (AtomId parent : m.AtomsOf(edge.from_node)) {
+        for (AtomId partner : edge.store->Partners(parent, edge.direction)) {
+          if (!seen_this_edge.insert(partner).second) continue;
+          if (hits[partner]++ == 0) order.push_back(partner);
+        }
+      }
+    }
+    for (AtomId atom : order) {
+      if (hits[atom] == in_edges.size()) {
+        m.MutableAtomsOf(node_idx).push_back(atom);
+        members[node_idx].insert(atom);
+      }
+    }
+  }
+
+  // Record the molecule's links g: every underlying link between contained
+  // atoms along a description edge.
+  for (size_t edge_idx = 0; edge_idx < plan.edges.size(); ++edge_idx) {
+    const ResolvedEdge& edge = plan.edges[edge_idx];
+    for (AtomId parent : m.AtomsOf(edge.from_node)) {
+      for (AtomId partner : edge.store->Partners(parent, edge.direction)) {
+        if (members[edge.to_node].count(partner) > 0) {
+          m.AddLink(MoleculeLink{edge_idx, parent, partner});
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Result<std::vector<Molecule>> DeriveMolecules(const Database& db,
+                                              const MoleculeDescription& md) {
+  MAD_ASSIGN_OR_RETURN(const AtomType* root_at,
+                       db.GetAtomType(md.root_node().type_name));
+  MAD_ASSIGN_OR_RETURN(Plan plan, MakePlan(db, md));
+
+  std::vector<Molecule> molecules;
+  molecules.reserve(root_at->occurrence().size());
+  for (const Atom& root : root_at->occurrence().atoms()) {
+    molecules.push_back(DeriveOne(md, plan, root.id));
+  }
+  return molecules;
+}
+
+Result<Molecule> DeriveMoleculeFor(const Database& db,
+                                   const MoleculeDescription& md,
+                                   AtomId root) {
+  MAD_ASSIGN_OR_RETURN(const AtomType* root_at,
+                       db.GetAtomType(md.root_node().type_name));
+  if (!root_at->occurrence().Contains(root)) {
+    return Status::NotFound("atom #" + std::to_string(root.value) +
+                            " is not in root atom type '" +
+                            md.root_node().type_name + "'");
+  }
+  MAD_ASSIGN_OR_RETURN(Plan plan, MakePlan(db, md));
+  return DeriveOne(md, plan, root);
+}
+
+Result<std::vector<Molecule>> DeriveMoleculesForRoots(
+    const Database& db, const MoleculeDescription& md,
+    const std::vector<AtomId>& roots) {
+  MAD_ASSIGN_OR_RETURN(const AtomType* root_at,
+                       db.GetAtomType(md.root_node().type_name));
+  MAD_ASSIGN_OR_RETURN(Plan plan, MakePlan(db, md));
+  std::vector<Molecule> molecules;
+  molecules.reserve(roots.size());
+  for (AtomId root : roots) {
+    if (!root_at->occurrence().Contains(root)) {
+      return Status::NotFound("atom #" + std::to_string(root.value) +
+                              " is not in root atom type '" +
+                              md.root_node().type_name + "'");
+    }
+    molecules.push_back(DeriveOne(md, plan, root));
+  }
+  return molecules;
+}
+
+Result<MoleculeType> DefineMoleculeType(const Database& db, std::string name,
+                                        MoleculeDescription md) {
+  if (name.empty()) {
+    return Status::InvalidArgument("molecule type name must be non-empty");
+  }
+  MAD_ASSIGN_OR_RETURN(std::vector<Molecule> molecules,
+                       DeriveMolecules(db, md));
+  return MoleculeType(std::move(name), std::move(md), std::move(molecules));
+}
+
+Status ValidateMolecule(const Database& db, const MoleculeDescription& md,
+                        const Molecule& molecule) {
+  if (molecule.node_count() != md.nodes().size()) {
+    return Status::InvalidArgument(
+        "molecule has a different node count than its description");
+  }
+  MAD_ASSIGN_OR_RETURN(size_t root_idx, md.NodeIndex(md.root_label()));
+
+  // The root group holds exactly the root atom.
+  const std::vector<AtomId>& root_group = molecule.AtomsOf(root_idx);
+  if (root_group.size() != 1 || root_group[0] != molecule.root()) {
+    return Status::ConstraintViolation(
+        "molecule root group must hold exactly the root atom");
+  }
+
+  // Every atom exists under its node's atom type.
+  for (size_t i = 0; i < md.nodes().size(); ++i) {
+    MAD_ASSIGN_OR_RETURN(const AtomType* at,
+                         db.GetAtomType(md.nodes()[i].type_name));
+    for (AtomId id : molecule.AtomsOf(i)) {
+      if (!at->occurrence().Contains(id)) {
+        return Status::ConstraintViolation(
+            "molecule atom #" + std::to_string(id.value) +
+            " is not in atom type '" + md.nodes()[i].type_name + "'");
+      }
+    }
+  }
+
+  // Every link is realised in the database with the right orientation and
+  // connects contained atoms; build the instance graph along the way.
+  Digraph instance;
+  auto node_key = [](size_t node_idx, AtomId id) {
+    return std::to_string(node_idx) + ":" + std::to_string(id.value);
+  };
+  for (size_t i = 0; i < md.nodes().size(); ++i) {
+    for (AtomId id : molecule.AtomsOf(i)) instance.AddNode(node_key(i, id));
+  }
+  for (const MoleculeLink& link : molecule.links()) {
+    if (link.edge_index >= md.links().size()) {
+      return Status::ConstraintViolation("molecule link has bad edge index");
+    }
+    const DirectedLink& dl = md.links()[link.edge_index];
+    MAD_ASSIGN_OR_RETURN(size_t from_idx, md.NodeIndex(dl.from));
+    MAD_ASSIGN_OR_RETURN(size_t to_idx, md.NodeIndex(dl.to));
+    if (!molecule.ContainsAtom(from_idx, link.parent) ||
+        !molecule.ContainsAtom(to_idx, link.child)) {
+      return Status::ConstraintViolation(
+          "molecule link endpoints are not molecule atoms");
+    }
+    MAD_ASSIGN_OR_RETURN(const LinkType* lt, db.GetLinkType(dl.link_type));
+    bool present = dl.reverse
+                       ? lt->occurrence().Contains(link.child, link.parent)
+                       : lt->occurrence().Contains(link.parent, link.child);
+    if (!present) {
+      return Status::ConstraintViolation(
+          "molecule link is not present in link type '" + dl.link_type + "'");
+    }
+    MAD_RETURN_IF_ERROR(instance.AddEdge(dl.link_type,
+                                         node_key(from_idx, link.parent),
+                                         node_key(to_idx, link.child)));
+  }
+
+  // mv_graph: the instance graph is a coherent DAG rooted at the root atom.
+  MAD_ASSIGN_OR_RETURN(std::string instance_root, instance.CheckRootedDag());
+  if (instance_root != node_key(root_idx, molecule.root())) {
+    return Status::ConstraintViolation(
+        "molecule instance graph is not rooted at the root atom");
+  }
+  return Status::OK();
+}
+
+}  // namespace mad

@@ -1,0 +1,52 @@
+#ifndef MAD_MOLECULE_DERIVATION_H_
+#define MAD_MOLECULE_DERIVATION_H_
+
+#include <string>
+#include <vector>
+
+#include "molecule/molecule_type.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// The function m_dom (Def. 6): derives every molecule matching `md` from
+/// the database's atom networks — one molecule per atom of the root atom
+/// type, grown by hierarchical join along the directed link types until the
+/// leaves are reached, maximal per the `contained`/`total` predicates.
+///
+/// Multiple incoming description edges are *conjunctive* (the paper's
+/// ∀-quantifier in `contained`): an atom of a node with k incoming directed
+/// link types belongs to the molecule only if it is linked to contained
+/// parent atoms through every one of the k edges.
+Result<std::vector<Molecule>> DeriveMolecules(const Database& db,
+                                              const MoleculeDescription& md);
+
+/// Derives the single molecule rooted at `root` (which must be an atom of
+/// the root atom type).
+Result<Molecule> DeriveMoleculeFor(const Database& db,
+                                   const MoleculeDescription& md, AtomId root);
+
+/// Derives only the molecules rooted at `roots` (each must be an atom of
+/// the root atom type) — the target of restriction pushdown: when a WHERE
+/// conjunct is decidable on root attributes alone, the engine derives just
+/// the qualifying roots instead of the whole occurrence.
+Result<std::vector<Molecule>> DeriveMoleculesForRoots(
+    const Database& db, const MoleculeDescription& md,
+    const std::vector<AtomId>& roots);
+
+/// The operator molecule-type-definition a[mname, G](C) (Def. 8): pairs a
+/// validated description with its derived occurrence.
+Result<MoleculeType> DefineMoleculeType(const Database& db, std::string name,
+                                        MoleculeDescription md);
+
+/// Checks the mv_graph predicate (Def. 6) on an already-built molecule:
+/// the instance graph must be directed, acyclic, coherent, rooted at the
+/// molecule's root atom, and each atom/link must exist in the database
+/// under the description's types. Used by tests and by Theorem-2 checks.
+Status ValidateMolecule(const Database& db, const MoleculeDescription& md,
+                        const Molecule& molecule);
+
+}  // namespace mad
+
+#endif  // MAD_MOLECULE_DERIVATION_H_

@@ -1,0 +1,190 @@
+#include "molecule/description.h"
+
+#include <algorithm>
+
+namespace mad {
+
+namespace {
+const std::vector<size_t> kNoLinks;
+}  // namespace
+
+Result<MoleculeDescription> MoleculeDescription::Create(
+    const Database& db, std::vector<MoleculeNode> nodes,
+    std::vector<DirectedLink> links) {
+  MoleculeDescription md;
+  md.nodes_ = std::move(nodes);
+  md.links_ = std::move(links);
+
+  // Nodes: unique labels over existing atom types with valid narrowing.
+  Digraph graph;
+  for (size_t i = 0; i < md.nodes_.size(); ++i) {
+    MoleculeNode& node = md.nodes_[i];
+    if (node.label.empty()) node.label = node.type_name;
+    if (!graph.AddNode(node.label)) {
+      return Status::InvalidArgument("duplicate node label '" + node.label +
+                                     "' in molecule description");
+    }
+    md.node_index_[node.label] = i;
+    MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(node.type_name));
+    if (node.attributes.has_value()) {
+      for (const std::string& attr : *node.attributes) {
+        if (!at->description().HasAttribute(attr)) {
+          return Status::NotFound("atom type '" + node.type_name +
+                                  "' has no attribute '" + attr + "'");
+        }
+      }
+    }
+  }
+
+  // Directed links: existing link types with consistent role orientation.
+  for (size_t i = 0; i < md.links_.size(); ++i) {
+    DirectedLink& dl = md.links_[i];
+    auto from_it = md.node_index_.find(dl.from);
+    auto to_it = md.node_index_.find(dl.to);
+    if (from_it == md.node_index_.end() || to_it == md.node_index_.end()) {
+      return Status::NotFound("directed link '" + dl.link_type +
+                              "' references unknown node label");
+    }
+    MAD_ASSIGN_OR_RETURN(const LinkType* lt, db.GetLinkType(dl.link_type));
+    const std::string& from_type = md.nodes_[from_it->second].type_name;
+    const std::string& to_type = md.nodes_[to_it->second].type_name;
+
+    bool forward_fits = lt->first_atom_type() == from_type &&
+                        lt->second_atom_type() == to_type;
+    bool backward_fits = lt->second_atom_type() == from_type &&
+                         lt->first_atom_type() == to_type;
+    if (lt->reflexive()) {
+      if (!forward_fits) {
+        return Status::InvalidArgument(
+            "reflexive link type '" + dl.link_type +
+            "' does not connect node types '" + from_type + "' and '" +
+            to_type + "'");
+      }
+      // Keep the caller's `reverse` choice: it selects super- vs
+      // sub-component view.
+    } else if (forward_fits) {
+      dl.reverse = false;
+    } else if (backward_fits) {
+      dl.reverse = true;
+    } else {
+      return Status::InvalidArgument(
+          "link type '" + dl.link_type + "' connects <" +
+          lt->first_atom_type() + ", " + lt->second_atom_type() +
+          ">, not <" + from_type + ", " + to_type + ">");
+    }
+
+    MAD_RETURN_IF_ERROR(graph.AddEdge(dl.link_type, dl.from, dl.to));
+    md.out_links_[dl.from].push_back(i);
+    md.in_links_[dl.to].push_back(i);
+  }
+
+  // md_graph (Def. 5): directed, acyclic, coherent, exactly one root.
+  MAD_ASSIGN_OR_RETURN(md.root_label_, graph.CheckRootedDag());
+  MAD_ASSIGN_OR_RETURN(md.topo_order_, graph.TopologicalOrder());
+  return md;
+}
+
+Result<MoleculeDescription> MoleculeDescription::CreateFromTypes(
+    const Database& db, std::vector<std::string> atom_types,
+    std::vector<DirectedLink> links) {
+  std::vector<MoleculeNode> nodes;
+  nodes.reserve(atom_types.size());
+  for (std::string& type : atom_types) {
+    nodes.push_back(MoleculeNode{std::move(type), "", std::nullopt});
+  }
+  return Create(db, std::move(nodes), std::move(links));
+}
+
+Result<size_t> MoleculeDescription::NodeIndex(const std::string& label) const {
+  auto it = node_index_.find(label);
+  if (it == node_index_.end()) {
+    return Status::NotFound("no node labelled '" + label +
+                            "' in molecule description");
+  }
+  return it->second;
+}
+
+Result<size_t> MoleculeDescription::ResolveQualifier(
+    const std::string& qualifier) const {
+  auto it = node_index_.find(qualifier);
+  if (it != node_index_.end()) return it->second;
+  // Fall back to a unique atom-type-name match.
+  const size_t kNone = static_cast<size_t>(-1);
+  size_t hit = kNone;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type_name != qualifier) continue;
+    if (hit != kNone) {
+      return Status::InvalidArgument("qualifier '" + qualifier +
+                                     "' matches several nodes; use a label");
+    }
+    hit = i;
+  }
+  if (hit == kNone) {
+    return Status::NotFound("qualifier '" + qualifier +
+                            "' matches no node of the molecule description");
+  }
+  return hit;
+}
+
+const std::vector<size_t>& MoleculeDescription::InLinksOf(
+    const std::string& label) const {
+  auto it = in_links_.find(label);
+  return it == in_links_.end() ? kNoLinks : it->second;
+}
+
+const std::vector<size_t>& MoleculeDescription::OutLinksOf(
+    const std::string& label) const {
+  auto it = out_links_.find(label);
+  return it == out_links_.end() ? kNoLinks : it->second;
+}
+
+bool MoleculeDescription::operator==(const MoleculeDescription& other) const {
+  if (nodes_.size() != other.nodes_.size() ||
+      links_.size() != other.links_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type_name != other.nodes_[i].type_name ||
+        nodes_[i].label != other.nodes_[i].label ||
+        nodes_[i].attributes != other.nodes_[i].attributes) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].link_type != other.links_[i].link_type ||
+        links_[i].from != other.links_[i].from ||
+        links_[i].to != other.links_[i].to ||
+        links_[i].reverse != other.links_[i].reverse) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string MoleculeDescription::ToString() const {
+  // Render as root followed by nested branches, Ch. 4 style:
+  // point-edge-(area-state,net-river).
+  std::string out;
+  // Recursive lambda over the (acyclic) structure.
+  auto render = [&](auto&& self, const std::string& label) -> std::string {
+    std::string text = label;
+    const std::vector<size_t>& outs = OutLinksOf(label);
+    if (outs.empty()) return text;
+    std::vector<std::string> branches;
+    branches.reserve(outs.size());
+    for (size_t link_idx : outs) {
+      branches.push_back(self(self, links_[link_idx].to));
+    }
+    if (branches.size() == 1) return text + "-" + branches[0];
+    text += "-(";
+    for (size_t i = 0; i < branches.size(); ++i) {
+      if (i > 0) text += ",";
+      text += branches[i];
+    }
+    text += ")";
+    return text;
+  };
+  return render(render, root_label_);
+}
+
+}  // namespace mad

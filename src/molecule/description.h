@@ -1,0 +1,113 @@
+#ifndef MAD_MOLECULE_DESCRIPTION_H_
+#define MAD_MOLECULE_DESCRIPTION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/digraph.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// One node of a molecule-type description: an atom type plus a label.
+///
+/// The label names the node inside the description (qualification formulas
+/// refer to it, e.g. `point.name = 'pn'`). It defaults to the atom-type
+/// name; distinct labels are what allow an operation result (whose atom
+/// types were renamed by propagation, Def. 9) to keep presenting the
+/// original vocabulary to queries.
+struct MoleculeNode {
+  std::string type_name;
+  std::string label;
+  /// Attribute narrowing installed by molecule-type projection Π; nullopt
+  /// means every attribute of the atom type is visible.
+  std::optional<std::vector<std::string>> attributes;
+};
+
+/// One directed link type of a description (Def. 5's dl =
+/// <lname, aname_i1, aname_i2>): traverse `link_type` from the node
+/// labelled `from` to the node labelled `to`.
+///
+/// `reverse` selects the traversal orientation through the underlying
+/// symmetric link type: false follows first-role -> second-role, true the
+/// opposite. For non-reflexive link types Create() infers it from the node
+/// types; for reflexive link types the caller must say which end is which.
+struct DirectedLink {
+  std::string link_type;
+  std::string from;
+  std::string to;
+  bool reverse = false;
+};
+
+/// A molecule-type description md = <C, G> (Def. 5): a coherent, directed,
+/// acyclic type graph with exactly one root (the paper's md_graph
+/// predicate), validated against a database schema.
+class MoleculeDescription {
+ public:
+  /// Builds and validates a description. Checks: labels unique; atom types
+  /// exist; narrowed attributes exist; every directed link names an
+  /// existing link type whose role assignment matches the endpoint node
+  /// types; and md_graph holds (rooted DAG, coherent).
+  /// Nodes may be given as bare atom-type names (`{"state", "area"}`):
+  /// an empty label defaults to the type name, and link orientation is
+  /// inferred for non-reflexive link types.
+  static Result<MoleculeDescription> Create(const Database& db,
+                                            std::vector<MoleculeNode> nodes,
+                                            std::vector<DirectedLink> links);
+
+  /// Convenience: nodes given as bare atom-type names (label = type name).
+  static Result<MoleculeDescription> CreateFromTypes(
+      const Database& db, std::vector<std::string> atom_types,
+      std::vector<DirectedLink> links);
+
+  const std::vector<MoleculeNode>& nodes() const { return nodes_; }
+  const std::vector<DirectedLink>& links() const { return links_; }
+  /// Label of the unique root node.
+  const std::string& root_label() const { return root_label_; }
+  const MoleculeNode& root_node() const { return nodes_[*NodeIndex(root_label_)]; }
+  /// Labels in a deterministic topological order (root first).
+  const std::vector<std::string>& topo_order() const { return topo_order_; }
+
+  /// Index of the node labelled `label`, or NotFound.
+  Result<size_t> NodeIndex(const std::string& label) const;
+  bool HasLabel(const std::string& label) const {
+    return node_index_.count(label) > 0;
+  }
+
+  /// Resolves a qualification qualifier to a node index: an exact label
+  /// match wins; otherwise a unique type-name match; otherwise an error.
+  Result<size_t> ResolveQualifier(const std::string& qualifier) const;
+
+  /// Indexes (into links()) of the directed links entering / leaving the
+  /// node labelled `label`.
+  const std::vector<size_t>& InLinksOf(const std::string& label) const;
+  const std::vector<size_t>& OutLinksOf(const std::string& label) const;
+
+  /// Structural equality: same nodes (type, label, narrowing) in the same
+  /// order and same links — the compatibility precondition of Ω and Δ.
+  bool operator==(const MoleculeDescription& other) const;
+  bool operator!=(const MoleculeDescription& other) const {
+    return !(*this == other);
+  }
+
+  /// Compact display form, e.g. "point-edge-(area-state,net-river)".
+  std::string ToString() const;
+
+ private:
+  MoleculeDescription() = default;
+
+  std::vector<MoleculeNode> nodes_;
+  std::vector<DirectedLink> links_;
+  std::map<std::string, size_t> node_index_;
+  std::map<std::string, std::vector<size_t>> in_links_;
+  std::map<std::string, std::vector<size_t>> out_links_;
+  std::string root_label_;
+  std::vector<std::string> topo_order_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_MOLECULE_DESCRIPTION_H_

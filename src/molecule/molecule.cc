@@ -1,0 +1,40 @@
+#include "molecule/molecule.h"
+
+#include <algorithm>
+
+namespace mad {
+
+bool Molecule::ContainsAtom(size_t node_index, AtomId id) const {
+  const std::vector<AtomId>& atoms = atoms_per_node_[node_index];
+  return std::find(atoms.begin(), atoms.end(), id) != atoms.end();
+}
+
+size_t Molecule::atom_count() const {
+  size_t n = 0;
+  for (const auto& group : atoms_per_node_) n += group.size();
+  return n;
+}
+
+std::string Molecule::CanonicalKey() const {
+  std::string key = "r" + std::to_string(root_.value);
+  for (size_t i = 0; i < atoms_per_node_.size(); ++i) {
+    std::vector<AtomId> sorted = atoms_per_node_[i];
+    std::sort(sorted.begin(), sorted.end());
+    key += "|n" + std::to_string(i) + ":";
+    for (AtomId id : sorted) {
+      key += std::to_string(id.value);
+      key += ",";
+    }
+  }
+  std::vector<MoleculeLink> sorted_links = links_;
+  std::sort(sorted_links.begin(), sorted_links.end());
+  key += "|g:";
+  for (const MoleculeLink& link : sorted_links) {
+    key += std::to_string(link.edge_index) + "." +
+           std::to_string(link.parent.value) + "." +
+           std::to_string(link.child.value) + ",";
+  }
+  return key;
+}
+
+}  // namespace mad

@@ -1,0 +1,44 @@
+#ifndef MAD_MOLECULE_MOLECULE_TYPE_H_
+#define MAD_MOLECULE_MOLECULE_TYPE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "molecule/description.h"
+#include "molecule/molecule.h"
+
+namespace mad {
+
+/// A molecule type (Def. 7): mt = <mname, md, mv> — name, description, and
+/// molecule-type occurrence. Molecule types are values produced by the
+/// molecule algebra; the occurrence is held explicitly (the propagation
+/// function materialises it back into a Database when first-class atom
+/// types are wanted, Def. 9).
+class MoleculeType {
+ public:
+  MoleculeType(std::string name, MoleculeDescription description,
+               std::vector<Molecule> molecules)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        molecules_(std::move(molecules)) {}
+
+  /// mname
+  const std::string& name() const { return name_; }
+  /// md
+  const MoleculeDescription& description() const { return description_; }
+  /// mv
+  const std::vector<Molecule>& molecules() const { return molecules_; }
+
+  size_t size() const { return molecules_.size(); }
+  bool empty() const { return molecules_.empty(); }
+
+ private:
+  std::string name_;
+  MoleculeDescription description_;
+  std::vector<Molecule> molecules_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_MOLECULE_MOLECULE_TYPE_H_

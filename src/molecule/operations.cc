@@ -1,0 +1,295 @@
+#include "molecule/operations.h"
+
+#include <unordered_set>
+
+#include "molecule/qualification.h"
+
+namespace mad {
+
+namespace {
+
+Status CheckName(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("molecule type name must be non-empty");
+  }
+  return Status::OK();
+}
+
+Status CheckCompatible(const MoleculeType& left, const MoleculeType& right) {
+  if (left.description() != right.description()) {
+    return Status::InvalidArgument(
+        "molecule-type operands must have identical descriptions: '" +
+        left.description().ToString() + "' vs '" +
+        right.description().ToString() + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MoleculeType> RestrictMolecules(const Database& db,
+                                       const MoleculeType& mt,
+                                       const expr::ExprPtr& predicate,
+                                       std::string result_name) {
+  MAD_RETURN_IF_ERROR(CheckName(result_name));
+  MAD_ASSIGN_OR_RETURN(MoleculeQualifier qualifier,
+                       MoleculeQualifier::Create(db, mt.description(),
+                                                 predicate));
+  std::vector<Molecule> kept;
+  for (const Molecule& m : mt.molecules()) {
+    MAD_ASSIGN_OR_RETURN(bool hit, qualifier.Matches(m));
+    if (hit) kept.push_back(m);
+  }
+  return MoleculeType(std::move(result_name), mt.description(),
+                      std::move(kept));
+}
+
+Result<MoleculeType> ProjectMolecules(const Database& db,
+                                      const MoleculeType& mt,
+                                      const MoleculeProjectionSpec& spec,
+                                      std::string result_name) {
+  MAD_RETURN_IF_ERROR(CheckName(result_name));
+  const MoleculeDescription& md = mt.description();
+
+  std::unordered_set<std::string> keep(spec.keep_labels.begin(),
+                                       spec.keep_labels.end());
+  if (keep.size() != spec.keep_labels.size()) {
+    return Status::InvalidArgument("projection repeats a node label");
+  }
+  for (const std::string& label : spec.keep_labels) {
+    if (!md.HasLabel(label)) {
+      return Status::NotFound("projection keeps unknown node label '" + label +
+                              "'");
+    }
+  }
+  for (const auto& [label, attrs] : spec.attributes) {
+    if (keep.count(label) == 0) {
+      return Status::InvalidArgument(
+          "attribute narrowing given for dropped node '" + label + "'");
+    }
+    (void)attrs;
+  }
+
+  // Rebuild the description: kept nodes (original order) with merged
+  // narrowing, and the links between kept nodes.
+  std::vector<MoleculeNode> nodes;
+  std::vector<size_t> old_node_index;  // result node -> original node index
+  for (size_t i = 0; i < md.nodes().size(); ++i) {
+    const MoleculeNode& node = md.nodes()[i];
+    if (keep.count(node.label) == 0) continue;
+    MoleculeNode out = node;
+    auto it = spec.attributes.find(node.label);
+    if (it != spec.attributes.end()) {
+      // Narrow further: requested attributes must already be visible.
+      if (node.attributes.has_value()) {
+        for (const std::string& attr : it->second) {
+          if (std::find(node.attributes->begin(), node.attributes->end(),
+                        attr) == node.attributes->end()) {
+            return Status::NotFound("attribute '" + attr +
+                                    "' already projected away from node '" +
+                                    node.label + "'");
+          }
+        }
+      }
+      out.attributes = it->second;
+    }
+    nodes.push_back(std::move(out));
+    old_node_index.push_back(i);
+  }
+
+  std::vector<DirectedLink> links;
+  std::vector<size_t> old_edge_index;  // result edge -> original edge index
+  for (size_t j = 0; j < md.links().size(); ++j) {
+    const DirectedLink& dl = md.links()[j];
+    if (keep.count(dl.from) == 0 || keep.count(dl.to) == 0) continue;
+    links.push_back(dl);
+    old_edge_index.push_back(j);
+  }
+
+  auto new_md = MoleculeDescription::Create(db, std::move(nodes),
+                                            std::move(links));
+  if (!new_md.ok()) {
+    return Status::InvalidArgument(
+        "projection does not yield a valid molecule structure: " +
+        new_md.status().message());
+  }
+  if (new_md->root_label() != md.root_label()) {
+    return Status::InvalidArgument(
+        "projection must preserve the root node '" + md.root_label() + "'");
+  }
+
+  // Remap edge indexes (result edge k corresponds to original
+  // old_edge_index[k]) for the molecule rewrite below.
+  std::map<size_t, size_t> edge_remap;
+  for (size_t k = 0; k < old_edge_index.size(); ++k) {
+    edge_remap[old_edge_index[k]] = k;
+  }
+
+  std::vector<Molecule> projected;
+  projected.reserve(mt.molecules().size());
+  for (const Molecule& m : mt.molecules()) {
+    Molecule out(m.root(), new_md->nodes().size());
+    for (size_t k = 0; k < old_node_index.size(); ++k) {
+      out.MutableAtomsOf(k) = m.AtomsOf(old_node_index[k]);
+    }
+    for (const MoleculeLink& link : m.links()) {
+      auto it = edge_remap.find(link.edge_index);
+      if (it == edge_remap.end()) continue;
+      out.AddLink(MoleculeLink{it->second, link.parent, link.child});
+    }
+    projected.push_back(std::move(out));
+  }
+  return MoleculeType(std::move(result_name), *std::move(new_md),
+                      std::move(projected));
+}
+
+Result<MoleculeType> UnionMolecules(const MoleculeType& left,
+                                    const MoleculeType& right,
+                                    std::string result_name) {
+  MAD_RETURN_IF_ERROR(CheckName(result_name));
+  MAD_RETURN_IF_ERROR(CheckCompatible(left, right));
+
+  std::vector<Molecule> merged = left.molecules();
+  std::unordered_set<std::string> seen;
+  seen.reserve(merged.size());
+  for (const Molecule& m : merged) seen.insert(m.CanonicalKey());
+  for (const Molecule& m : right.molecules()) {
+    if (seen.insert(m.CanonicalKey()).second) merged.push_back(m);
+  }
+  return MoleculeType(std::move(result_name), left.description(),
+                      std::move(merged));
+}
+
+Result<MoleculeType> DifferenceMolecules(const MoleculeType& left,
+                                         const MoleculeType& right,
+                                         std::string result_name) {
+  MAD_RETURN_IF_ERROR(CheckName(result_name));
+  MAD_RETURN_IF_ERROR(CheckCompatible(left, right));
+
+  std::unordered_set<std::string> drop;
+  drop.reserve(right.molecules().size());
+  for (const Molecule& m : right.molecules()) drop.insert(m.CanonicalKey());
+
+  std::vector<Molecule> kept;
+  for (const Molecule& m : left.molecules()) {
+    if (drop.count(m.CanonicalKey()) == 0) kept.push_back(m);
+  }
+  return MoleculeType(std::move(result_name), left.description(),
+                      std::move(kept));
+}
+
+Result<MoleculeType> IntersectMolecules(const MoleculeType& left,
+                                        const MoleculeType& right,
+                                        std::string result_name) {
+  // Ψ(mt1, mt2) = Δ(mt1, Δ(mt1, mt2)) — the paper's derived operator.
+  MAD_ASSIGN_OR_RETURN(
+      MoleculeType inner,
+      DifferenceMolecules(left, right, result_name + "$inner"));
+  return DifferenceMolecules(left, inner, std::move(result_name));
+}
+
+Result<MoleculeType> CartesianProductMolecules(Database& db,
+                                               const MoleculeType& left,
+                                               const MoleculeType& right,
+                                               std::string result_name) {
+  MAD_RETURN_IF_ERROR(CheckName(result_name));
+
+  // Synthetic pair root: md_graph demands exactly one root (Def. 5), so the
+  // product introduces a fresh atom type whose atoms couple operand roots.
+  std::string pair_type = db.UniqueAtomTypeName(result_name);
+  MAD_RETURN_IF_ERROR(db.DefineAtomType(pair_type, Schema()));
+  const std::string& left_root_type = left.description().root_node().type_name;
+  const std::string& right_root_type =
+      right.description().root_node().type_name;
+  std::string left_link = db.UniqueLinkTypeName(result_name + "-left");
+  std::string right_link = db.UniqueLinkTypeName(result_name + "-right");
+  MAD_RETURN_IF_ERROR(db.DefineLinkType(left_link, pair_type, left_root_type));
+  MAD_RETURN_IF_ERROR(
+      db.DefineLinkType(right_link, pair_type, right_root_type));
+
+  // Node list: pair root + left nodes + right nodes (labels de-collided).
+  std::unordered_set<std::string> labels;
+  std::string pair_label = result_name;
+  while (left.description().HasLabel(pair_label) ||
+         right.description().HasLabel(pair_label)) {
+    pair_label += "#";
+  }
+  labels.insert(pair_label);
+
+  std::vector<MoleculeNode> nodes;
+  nodes.push_back(MoleculeNode{pair_type, pair_label, std::nullopt});
+  for (const MoleculeNode& node : left.description().nodes()) {
+    nodes.push_back(node);
+    labels.insert(node.label);
+  }
+  std::map<std::string, std::string> right_label_map;
+  for (const MoleculeNode& node : right.description().nodes()) {
+    MoleculeNode out = node;
+    int suffix = 2;
+    while (labels.count(out.label) > 0) {
+      out.label = node.label + "#" + std::to_string(suffix++);
+    }
+    labels.insert(out.label);
+    right_label_map[node.label] = out.label;
+    nodes.push_back(std::move(out));
+  }
+
+  // Edge list: the two pair links, then left edges, then right edges.
+  std::vector<DirectedLink> links;
+  links.push_back(DirectedLink{
+      left_link, pair_label, left.description().root_label(), false});
+  links.push_back(
+      DirectedLink{right_link, pair_label,
+                   right_label_map.at(right.description().root_label()),
+                   false});
+  for (const DirectedLink& dl : left.description().links()) {
+    links.push_back(dl);
+  }
+  for (const DirectedLink& dl : right.description().links()) {
+    DirectedLink out = dl;
+    out.from = right_label_map.at(dl.from);
+    out.to = right_label_map.at(dl.to);
+    links.push_back(out);
+  }
+
+  size_t left_nodes = left.description().nodes().size();
+  size_t left_edges = left.description().links().size();
+
+  // Couple every pair of operand molecules under a fresh pair atom.
+  std::vector<Molecule> molecules;
+  molecules.reserve(left.size() * right.size());
+  for (const Molecule& m1 : left.molecules()) {
+    for (const Molecule& m2 : right.molecules()) {
+      MAD_ASSIGN_OR_RETURN(AtomId pair_atom, db.InsertAtom(pair_type, {}));
+      MAD_RETURN_IF_ERROR(db.InsertLink(left_link, pair_atom, m1.root()));
+      MAD_RETURN_IF_ERROR(db.InsertLink(right_link, pair_atom, m2.root()));
+
+      Molecule out(pair_atom, nodes.size());
+      out.MutableAtomsOf(0).push_back(pair_atom);
+      for (size_t i = 0; i < left_nodes; ++i) {
+        out.MutableAtomsOf(1 + i) = m1.AtomsOf(i);
+      }
+      for (size_t i = 0; i < m2.node_count(); ++i) {
+        out.MutableAtomsOf(1 + left_nodes + i) = m2.AtomsOf(i);
+      }
+      out.AddLink(MoleculeLink{0, pair_atom, m1.root()});
+      out.AddLink(MoleculeLink{1, pair_atom, m2.root()});
+      for (const MoleculeLink& link : m1.links()) {
+        out.AddLink(MoleculeLink{2 + link.edge_index, link.parent, link.child});
+      }
+      for (const MoleculeLink& link : m2.links()) {
+        out.AddLink(MoleculeLink{2 + left_edges + link.edge_index, link.parent,
+                                 link.child});
+      }
+      molecules.push_back(std::move(out));
+    }
+  }
+
+  MAD_ASSIGN_OR_RETURN(
+      MoleculeDescription md,
+      MoleculeDescription::Create(db, std::move(nodes), std::move(links)));
+  return MoleculeType(std::move(result_name), std::move(md),
+                      std::move(molecules));
+}
+
+}  // namespace mad

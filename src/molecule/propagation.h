@@ -1,0 +1,34 @@
+#ifndef MAD_MOLECULE_PROPAGATION_H_
+#define MAD_MOLECULE_PROPAGATION_H_
+
+#include <string>
+
+#include "molecule/molecule_type.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// The propagation function prop (Def. 9): materialises a molecule type's
+/// occurrence back into the database, enlarging it with
+///
+///   * one renamed atom type per description node ("<label>@<mname>"),
+///     whose occurrence contains exactly the atoms appearing in the
+///     molecule set (identity preserved; attribute narrowing applied), and
+///   * one link type per directed description link ("<lname>@<mname>"),
+///     whose occurrence contains exactly the links appearing in the
+///     molecule set (stored in parent→child role order).
+///
+/// Returns the equivalent molecule type over the enlarged database: same
+/// molecule set, description rebuilt over the propagated types with the
+/// original labels. Theorem 2's re-derivability (m_dom(md') == mv) holds
+/// for restriction results and is exercised by the property tests; see
+/// DESIGN.md for the sharing corner cases where maximal re-derivation may
+/// merge molecules.
+Result<MoleculeType> PropagateMoleculeType(Database& db,
+                                           const MoleculeType& mt,
+                                           std::string result_name = "");
+
+}  // namespace mad
+
+#endif  // MAD_MOLECULE_PROPAGATION_H_

@@ -1,0 +1,321 @@
+#include "molecule/qualification.h"
+
+#include <algorithm>
+
+#include "expr/eval.h"
+
+namespace mad {
+
+namespace {
+
+using expr::Expr;
+using expr::ExprPtr;
+
+bool ContainsForAll(const Expr& expr);
+
+/// Rewrites every attribute reference to label-qualified form, validating
+/// existence and attribute narrowing along the way.
+Result<ExprPtr> ResolveRefs(const Database& db, const MoleculeDescription& md,
+                            const ExprPtr& node) {
+  switch (node->kind()) {
+    case Expr::Kind::kLiteral:
+      return node;
+    case Expr::Kind::kAttrRef: {
+      size_t node_idx;
+      if (!node->qualifier().empty()) {
+        MAD_ASSIGN_OR_RETURN(node_idx, md.ResolveQualifier(node->qualifier()));
+        const MoleculeNode& mn = md.nodes()[node_idx];
+        MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(mn.type_name));
+        if (!at->description().HasAttribute(node->attribute())) {
+          return Status::NotFound("node '" + mn.label +
+                                  "' has no attribute '" + node->attribute() +
+                                  "'");
+        }
+      } else {
+        // Unqualified: the attribute must be visible in exactly one node.
+        const size_t kNone = static_cast<size_t>(-1);
+        size_t hit = kNone;
+        for (size_t i = 0; i < md.nodes().size(); ++i) {
+          MAD_ASSIGN_OR_RETURN(const AtomType* at,
+                               db.GetAtomType(md.nodes()[i].type_name));
+          if (!at->description().HasAttribute(node->attribute())) continue;
+          if (md.nodes()[i].attributes.has_value()) {
+            const auto& visible = *md.nodes()[i].attributes;
+            if (std::find(visible.begin(), visible.end(), node->attribute()) ==
+                visible.end()) {
+              continue;
+            }
+          }
+          if (hit != kNone) {
+            return Status::InvalidArgument(
+                "ambiguous attribute '" + node->attribute() +
+                "' (qualify it with a node label)");
+          }
+          hit = i;
+        }
+        if (hit == kNone) {
+          return Status::NotFound("attribute '" + node->attribute() +
+                                  "' occurs in no node of the description");
+        }
+        node_idx = hit;
+      }
+      const MoleculeNode& mn = md.nodes()[node_idx];
+      // Projection narrowing hides attributes even under a qualifier.
+      if (mn.attributes.has_value()) {
+        const auto& visible = *mn.attributes;
+        if (std::find(visible.begin(), visible.end(), node->attribute()) ==
+            visible.end()) {
+          return Status::NotFound("attribute '" + node->attribute() +
+                                  "' was projected away from node '" +
+                                  mn.label + "'");
+        }
+      }
+      return Expr::MakeAttrRef(mn.label, node->attribute());
+    }
+    case Expr::Kind::kCompare: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr lhs, ResolveRefs(db, md, node->left()));
+      MAD_ASSIGN_OR_RETURN(ExprPtr rhs, ResolveRefs(db, md, node->right()));
+      return Expr::MakeCompare(node->compare_op(), std::move(lhs),
+                               std::move(rhs));
+    }
+    case Expr::Kind::kArith: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr lhs, ResolveRefs(db, md, node->left()));
+      MAD_ASSIGN_OR_RETURN(ExprPtr rhs, ResolveRefs(db, md, node->right()));
+      return Expr::MakeArith(node->arith_op(), std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kAnd: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr lhs, ResolveRefs(db, md, node->left()));
+      MAD_ASSIGN_OR_RETURN(ExprPtr rhs, ResolveRefs(db, md, node->right()));
+      return Expr::MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kOr: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr lhs, ResolveRefs(db, md, node->left()));
+      MAD_ASSIGN_OR_RETURN(ExprPtr rhs, ResolveRefs(db, md, node->right()));
+      return Expr::MakeOr(std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kNot: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr operand, ResolveRefs(db, md, node->left()));
+      return Expr::MakeNot(std::move(operand));
+    }
+    case Expr::Kind::kCount: {
+      MAD_ASSIGN_OR_RETURN(size_t node_idx,
+                           md.ResolveQualifier(node->qualifier()));
+      return Expr::MakeCount(md.nodes()[node_idx].label);
+    }
+    case Expr::Kind::kForAll: {
+      MAD_ASSIGN_OR_RETURN(size_t node_idx,
+                           md.ResolveQualifier(node->qualifier()));
+      const std::string& label = md.nodes()[node_idx].label;
+      if (ContainsForAll(*node->left())) {
+        return Status::Unsupported("nested FORALL is not supported");
+      }
+      MAD_ASSIGN_OR_RETURN(ExprPtr inner, ResolveRefs(db, md, node->left()));
+      // The quantified predicate may reference only the quantified node
+      // (plus molecule-level COUNTs); mixing quantifiers stays out of
+      // scope.
+      std::vector<const Expr*> refs;
+      inner->CollectAttrRefs(&refs);
+      for (const Expr* ref : refs) {
+        if (ref->qualifier() != label) {
+          return Status::InvalidArgument(
+              "FORALL " + label + ": predicate may only reference '" + label +
+              "', found '" + ref->qualifier() + "." + ref->attribute() + "'");
+        }
+      }
+      return Expr::MakeForAll(label, std::move(inner));
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+void CollectLabels(const Expr& expr, std::vector<std::string>* out) {
+  std::vector<const Expr*> refs;
+  expr.CollectAttrRefs(&refs);
+  for (const Expr* ref : refs) {
+    if (std::find(out->begin(), out->end(), ref->qualifier()) == out->end()) {
+      out->push_back(ref->qualifier());
+    }
+  }
+}
+
+bool ContainsCount(const Expr& expr) {
+  if (expr.kind() == Expr::Kind::kCount) return true;
+  if (expr.left() != nullptr && ContainsCount(*expr.left())) return true;
+  return expr.right() != nullptr && ContainsCount(*expr.right());
+}
+
+bool ContainsForAll(const Expr& expr) {
+  if (expr.kind() == Expr::Kind::kForAll) return true;
+  if (expr.left() != nullptr && ContainsForAll(*expr.left())) return true;
+  return expr.right() != nullptr && ContainsForAll(*expr.right());
+}
+
+}  // namespace
+
+Result<MoleculeQualifier> MoleculeQualifier::Create(
+    const Database& db, const MoleculeDescription& md,
+    expr::ExprPtr predicate) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("qualification predicate must be non-null");
+  }
+  if (!predicate->IsPredicate()) {
+    return Status::InvalidArgument("expression " + predicate->ToString() +
+                                   " is not a predicate");
+  }
+  MoleculeQualifier q;
+  q.db_ = &db;
+  q.md_ = &md;
+  MAD_ASSIGN_OR_RETURN(q.resolved_, ResolveRefs(db, md, predicate));
+  for (size_t i = 0; i < md.nodes().size(); ++i) {
+    MAD_ASSIGN_OR_RETURN(const AtomType* at,
+                         db.GetAtomType(md.nodes()[i].type_name));
+    q.label_info_[md.nodes()[i].label] = {i, &at->description()};
+  }
+  return q;
+}
+
+Result<bool> MoleculeQualifier::Matches(const Molecule& molecule) const {
+  return EvalBoolean(*resolved_, molecule);
+}
+
+Result<bool> MoleculeQualifier::EvalBoolean(const expr::Expr& expr,
+                                            const Molecule& molecule) const {
+  switch (expr.kind()) {
+    case Expr::Kind::kAnd: {
+      MAD_ASSIGN_OR_RETURN(bool lhs, EvalBoolean(*expr.left(), molecule));
+      if (!lhs) return false;
+      return EvalBoolean(*expr.right(), molecule);
+    }
+    case Expr::Kind::kOr: {
+      MAD_ASSIGN_OR_RETURN(bool lhs, EvalBoolean(*expr.left(), molecule));
+      if (lhs) return true;
+      return EvalBoolean(*expr.right(), molecule);
+    }
+    case Expr::Kind::kNot: {
+      MAD_ASSIGN_OR_RETURN(bool operand, EvalBoolean(*expr.left(), molecule));
+      return !operand;
+    }
+    case Expr::Kind::kForAll:
+      return EvalForAll(expr, molecule);
+    default:
+      return EvalExistential(expr, molecule);
+  }
+}
+
+Result<expr::ExprPtr> MoleculeQualifier::SubstituteCounts(
+    const expr::Expr& node, const Molecule& molecule) const {
+  switch (node.kind()) {
+    case Expr::Kind::kCount: {
+      size_t node_idx = label_info_.at(node.qualifier()).first;
+      return expr::Lit(
+          static_cast<int64_t>(molecule.AtomsOf(node_idx).size()));
+    }
+    case Expr::Kind::kLiteral:
+      return Expr::MakeLiteral(node.literal());
+    case Expr::Kind::kAttrRef:
+      return Expr::MakeAttrRef(node.qualifier(), node.attribute());
+    case Expr::Kind::kCompare: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr lhs,
+                           SubstituteCounts(*node.left(), molecule));
+      MAD_ASSIGN_OR_RETURN(ExprPtr rhs,
+                           SubstituteCounts(*node.right(), molecule));
+      return Expr::MakeCompare(node.compare_op(), std::move(lhs),
+                               std::move(rhs));
+    }
+    case Expr::Kind::kArith: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr lhs,
+                           SubstituteCounts(*node.left(), molecule));
+      MAD_ASSIGN_OR_RETURN(ExprPtr rhs,
+                           SubstituteCounts(*node.right(), molecule));
+      return Expr::MakeArith(node.arith_op(), std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kAnd: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr lhs,
+                           SubstituteCounts(*node.left(), molecule));
+      MAD_ASSIGN_OR_RETURN(ExprPtr rhs,
+                           SubstituteCounts(*node.right(), molecule));
+      return Expr::MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kOr: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr lhs,
+                           SubstituteCounts(*node.left(), molecule));
+      MAD_ASSIGN_OR_RETURN(ExprPtr rhs,
+                           SubstituteCounts(*node.right(), molecule));
+      return Expr::MakeOr(std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kNot: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr operand,
+                           SubstituteCounts(*node.left(), molecule));
+      return Expr::MakeNot(std::move(operand));
+    }
+    case Expr::Kind::kForAll: {
+      MAD_ASSIGN_OR_RETURN(ExprPtr inner,
+                           SubstituteCounts(*node.left(), molecule));
+      return Expr::MakeForAll(node.qualifier(), std::move(inner));
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> MoleculeQualifier::EvalForAll(const expr::Expr& expr,
+                                           const Molecule& molecule) const {
+  const auto& [node_idx, schema] = label_info_.at(expr.qualifier());
+  MAD_ASSIGN_OR_RETURN(expr::ExprPtr inner,
+                       SubstituteCounts(*expr.left(), molecule));
+  const std::string& type_name = md_->nodes()[node_idx].type_name;
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, db_->GetAtomType(type_name));
+  expr::BindingSet bindings;
+  for (AtomId id : molecule.AtomsOf(node_idx)) {
+    const Atom* atom = at->occurrence().Find(id);
+    if (atom == nullptr) {
+      return Status::Internal("molecule atom missing from store");
+    }
+    bindings.Bind(expr.qualifier(), schema, atom);
+    MAD_ASSIGN_OR_RETURN(bool hit, expr::EvalPredicate(*inner, bindings));
+    if (!hit) return false;
+  }
+  return true;  // vacuously true on an empty group
+}
+
+Result<bool> MoleculeQualifier::EvalExistential(const expr::Expr& expr,
+                                                const Molecule& molecule) const {
+  // COUNT(label) nodes are molecule-level constants: substitute them first.
+  if (ContainsCount(expr)) {
+    MAD_ASSIGN_OR_RETURN(expr::ExprPtr substituted,
+                         SubstituteCounts(expr, molecule));
+    return EvalExistential(*substituted, molecule);
+  }
+
+  std::vector<std::string> labels;
+  CollectLabels(expr, &labels);
+
+  if (labels.empty()) {
+    expr::BindingSet empty;
+    return expr::EvalPredicate(expr, empty);
+  }
+
+  // Existential nested loops over the molecule's atoms of each referenced
+  // node; a failing binding combination is just "no witness", but a type
+  // error in the comparison itself propagates.
+  expr::BindingSet bindings;
+  // Recursive lambda over the label list.
+  auto search = [&](auto&& self, size_t depth) -> Result<bool> {
+    if (depth == labels.size()) return expr::EvalPredicate(expr, bindings);
+    const auto& [node_idx, schema] = label_info_.at(labels[depth]);
+    const std::string& type_name = md_->nodes()[node_idx].type_name;
+    MAD_ASSIGN_OR_RETURN(const AtomType* at, db_->GetAtomType(type_name));
+    for (AtomId id : molecule.AtomsOf(node_idx)) {
+      const Atom* atom = at->occurrence().Find(id);
+      if (atom == nullptr) {
+        return Status::Internal("molecule atom missing from store");
+      }
+      bindings.Bind(labels[depth], schema, atom);
+      MAD_ASSIGN_OR_RETURN(bool hit, self(self, depth + 1));
+      if (hit) return true;
+    }
+    return false;
+  };
+  return search(search, 0);
+}
+
+}  // namespace mad

@@ -1,0 +1,64 @@
+#ifndef MAD_MOLECULE_QUALIFICATION_H_
+#define MAD_MOLECULE_QUALIFICATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "molecule/description.h"
+#include "molecule/molecule.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// Evaluates qualification formulas over molecules — the predicate
+/// qual(m, restr(md)) of the molecule-type restriction Σ (Def. 10).
+///
+/// Semantics: boolean connectives combine recursively; each *comparison* is
+/// satisfied iff there exist atoms in the molecule — one per atom-type node
+/// the comparison references — making it true (the Ch. 4 example
+/// `point.name = 'pn'` holds iff some point atom of the molecule is named
+/// 'pn'). Attribute references resolve against the description: an explicit
+/// qualifier matches a node label (or, uniquely, an atom-type name); an
+/// unqualified attribute must occur in exactly one node's visible schema.
+class MoleculeQualifier {
+ public:
+  /// Resolves and validates `predicate` against `md`. The database and the
+  /// description must outlive the qualifier.
+  static Result<MoleculeQualifier> Create(const Database& db,
+                                          const MoleculeDescription& md,
+                                          expr::ExprPtr predicate);
+
+  /// True iff the molecule satisfies the predicate.
+  Result<bool> Matches(const Molecule& molecule) const;
+
+  /// The predicate with every attribute reference rewritten to
+  /// label-qualified form.
+  const expr::ExprPtr& resolved_predicate() const { return resolved_; }
+
+ private:
+  MoleculeQualifier() = default;
+
+  Result<bool> EvalBoolean(const expr::Expr& expr,
+                           const Molecule& molecule) const;
+  Result<bool> EvalExistential(const expr::Expr& expr,
+                               const Molecule& molecule) const;
+  Result<bool> EvalForAll(const expr::Expr& expr,
+                          const Molecule& molecule) const;
+  /// Copies `expr` with every COUNT(label) replaced by its value in
+  /// `molecule`.
+  Result<expr::ExprPtr> SubstituteCounts(const expr::Expr& expr,
+                                         const Molecule& molecule) const;
+
+  const Database* db_ = nullptr;
+  const MoleculeDescription* md_ = nullptr;
+  expr::ExprPtr resolved_;
+  /// label -> (node index, schema of the node's atom type).
+  std::map<std::string, std::pair<size_t, const Schema*>> label_info_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_MOLECULE_QUALIFICATION_H_

@@ -1,0 +1,141 @@
+#include "molecule/recursive.h"
+
+#include "molecule/derivation.h"
+
+namespace mad {
+
+Status ValidateRecursiveDescription(const Database& db,
+                                    const RecursiveDescription& rd) {
+  MAD_RETURN_IF_ERROR(db.GetAtomType(rd.atom_type).status());
+  MAD_ASSIGN_OR_RETURN(const LinkType* lt, db.GetLinkType(rd.link_type));
+  if (!lt->reflexive() || lt->first_atom_type() != rd.atom_type) {
+    return Status::InvalidArgument(
+        "recursive derivation needs a reflexive link type on '" +
+        rd.atom_type + "'; '" + rd.link_type + "' connects <" +
+        lt->first_atom_type() + ", " + lt->second_atom_type() + ">");
+  }
+  return Status::OK();
+}
+
+Result<RecursiveMolecule> DeriveRecursiveMoleculeFor(
+    const Database& db, const RecursiveDescription& rd, AtomId root) {
+  MAD_RETURN_IF_ERROR(ValidateRecursiveDescription(db, rd));
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(rd.atom_type));
+  if (!at->occurrence().Contains(root)) {
+    return Status::NotFound("atom #" + std::to_string(root.value) +
+                            " is not in atom type '" + rd.atom_type + "'");
+  }
+  MAD_ASSIGN_OR_RETURN(const LinkType* lt, db.GetLinkType(rd.link_type));
+  const LinkStore& store = lt->occurrence();
+
+  RecursiveMolecule molecule(root);
+  std::vector<AtomId> frontier = {root};
+  int depth = 0;
+  while (!frontier.empty() &&
+         (rd.max_depth < 0 || depth < rd.max_depth)) {
+    std::vector<AtomId> next;
+    for (AtomId atom : frontier) {
+      for (AtomId partner : store.Partners(atom, rd.direction)) {
+        // Record every traversed link; expand each atom once (cycle/DAG
+        // sharing safety).
+        molecule.AddLink(rd.direction == LinkDirection::kForward
+                             ? Link{atom, partner}
+                             : Link{partner, atom});
+        if (molecule.AddMember(partner)) next.push_back(partner);
+      }
+    }
+    if (next.empty()) break;
+    molecule.AddLevel(next);
+    frontier = std::move(next);
+    ++depth;
+  }
+  return molecule;
+}
+
+Result<std::vector<RecursiveMolecule>> DeriveRecursiveMolecules(
+    const Database& db, const RecursiveDescription& rd) {
+  MAD_RETURN_IF_ERROR(ValidateRecursiveDescription(db, rd));
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(rd.atom_type));
+  std::vector<RecursiveMolecule> molecules;
+  molecules.reserve(at->occurrence().size());
+  for (const Atom& atom : at->occurrence().atoms()) {
+    MAD_ASSIGN_OR_RETURN(RecursiveMolecule m,
+                         DeriveRecursiveMoleculeFor(db, rd, atom.id));
+    molecules.push_back(std::move(m));
+  }
+  return molecules;
+}
+
+namespace {
+
+Status CheckExpansionRoot(const RecursiveDescription& rd,
+                          const MoleculeDescription& expansion) {
+  if (expansion.root_node().type_name != rd.atom_type) {
+    return Status::InvalidArgument(
+        "expansion structure must be rooted at '" + rd.atom_type +
+        "', found '" + expansion.root_node().type_name + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExpandedRecursiveMolecule> DeriveExpandedRecursiveMoleculeFor(
+    const Database& db, const RecursiveDescription& rd,
+    const MoleculeDescription& expansion, AtomId root) {
+  MAD_RETURN_IF_ERROR(CheckExpansionRoot(rd, expansion));
+  ExpandedRecursiveMolecule out{RecursiveMolecule(root), {}};
+  MAD_ASSIGN_OR_RETURN(out.closure,
+                       DeriveRecursiveMoleculeFor(db, rd, root));
+  std::vector<AtomId> members;
+  for (const auto& level : out.closure.levels()) {
+    members.insert(members.end(), level.begin(), level.end());
+  }
+  MAD_ASSIGN_OR_RETURN(out.components,
+                       DeriveMoleculesForRoots(db, expansion, members));
+  return out;
+}
+
+Result<std::vector<ExpandedRecursiveMolecule>>
+DeriveExpandedRecursiveMolecules(const Database& db,
+                                 const RecursiveDescription& rd,
+                                 const MoleculeDescription& expansion) {
+  MAD_RETURN_IF_ERROR(ValidateRecursiveDescription(db, rd));
+  MAD_RETURN_IF_ERROR(CheckExpansionRoot(rd, expansion));
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(rd.atom_type));
+  std::vector<ExpandedRecursiveMolecule> out;
+  out.reserve(at->occurrence().size());
+  for (const Atom& atom : at->occurrence().atoms()) {
+    MAD_ASSIGN_OR_RETURN(
+        ExpandedRecursiveMolecule m,
+        DeriveExpandedRecursiveMoleculeFor(db, rd, expansion, atom.id));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+Result<size_t> PropagateClosureLinks(Database& db,
+                                     const RecursiveDescription& rd,
+                                     const std::string& closure_name) {
+  MAD_RETURN_IF_ERROR(ValidateRecursiveDescription(db, rd));
+  MAD_ASSIGN_OR_RETURN(std::vector<RecursiveMolecule> molecules,
+                       DeriveRecursiveMolecules(db, rd));
+  MAD_RETURN_IF_ERROR(
+      db.DefineLinkType(closure_name, rd.atom_type, rd.atom_type));
+  size_t inserted = 0;
+  for (const RecursiveMolecule& m : molecules) {
+    for (size_t level = 1; level < m.levels().size(); ++level) {
+      for (AtomId member : m.levels()[level]) {
+        Status s = db.InsertLink(closure_name, m.root(), member);
+        if (s.ok()) {
+          ++inserted;
+        } else if (s.code() != StatusCode::kAlreadyExists) {
+          return s;
+        }
+      }
+    }
+  }
+  return inserted;
+}
+
+}  // namespace mad

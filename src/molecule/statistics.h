@@ -1,0 +1,56 @@
+#ifndef MAD_MOLECULE_STATISTICS_H_
+#define MAD_MOLECULE_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "molecule/molecule_type.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// Size statistics of one description node across a molecule set.
+struct NodeStats {
+  std::string label;
+  size_t min_atoms = 0;
+  size_t max_atoms = 0;
+  double avg_atoms = 0.0;
+  /// Distinct atoms across the whole set vs occupied slots: slots exceed
+  /// distinct atoms exactly when molecules share subobjects.
+  size_t distinct_atoms = 0;
+  size_t total_slots = 0;
+};
+
+/// Aggregate statistics of a molecule-type occurrence, including the
+/// sharing factor (total atom slots / distinct atoms) that quantifies the
+/// shared-subobject structure the MAD model exists to support.
+struct MoleculeTypeStats {
+  size_t molecule_count = 0;
+  size_t min_atoms = 0;
+  size_t max_atoms = 0;
+  double avg_atoms = 0.0;
+  size_t min_links = 0;
+  size_t max_links = 0;
+  double avg_links = 0.0;
+  size_t distinct_atoms = 0;
+  size_t total_atom_slots = 0;
+  std::vector<NodeStats> nodes;
+
+  /// 1.0 means fully disjoint molecules; larger values measure sharing.
+  double sharing_factor() const {
+    return distinct_atoms == 0
+               ? 1.0
+               : static_cast<double>(total_atom_slots) /
+                     static_cast<double>(distinct_atoms);
+  }
+};
+
+/// Computes occurrence statistics for a molecule type.
+MoleculeTypeStats ComputeMoleculeTypeStats(const MoleculeType& mt);
+
+/// Multi-line human-readable rendering.
+std::string FormatMoleculeTypeStats(const MoleculeTypeStats& stats);
+
+}  // namespace mad
+
+#endif  // MAD_MOLECULE_STATISTICS_H_

@@ -1,0 +1,122 @@
+#ifndef MAD_MQL_AST_H_
+#define MAD_MQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/link_type.h"
+#include "core/data_type.h"
+#include "core/value.h"
+#include "expr/expr.h"
+
+namespace mad {
+namespace mql {
+
+/// A molecule structure expression from a FROM clause, e.g.
+/// `point-edge-(area-state,net-river)` or `part-[composition*]`.
+///
+/// Connectors: `-` uses the unique link type between the adjacent atom
+/// types; `-[lname]-` names it explicitly. Inside the brackets a trailing
+/// `~` flips the traversal to second-role -> first-role (needed for
+/// reflexive link types) and a trailing `*` makes the step recursive
+/// (transitive closure; the branch then has no target node).
+struct StructureNode {
+  struct Branch {
+    std::optional<std::string> link;  ///< explicit link-type name
+    bool reverse = false;             ///< '~' flag
+    bool recursive = false;           ///< '*' flag (child is null)
+    int recursive_depth = -1;         ///< '*N' bounds the depth; -1 unbounded
+    std::unique_ptr<StructureNode> child;
+  };
+
+  std::string atom;
+  std::vector<Branch> branches;
+};
+
+/// FROM clause: an optional molecule-type name plus either an inline
+/// structure (`mt_state(state-area-edge-point)` / bare structure) or — when
+/// the structure degenerates to a single identifier — a reference the
+/// session resolves against registered molecule types first and atom types
+/// second.
+struct FromClause {
+  std::string molecule_name;  ///< empty for anonymous queries
+  std::unique_ptr<StructureNode> structure;
+};
+
+/// One SELECT list item: a node label (`state`), a narrowed attribute
+/// (`state.name`), or an explicit whole-node `state.*`.
+struct ProjectionItem {
+  std::string label;
+  std::optional<std::string> attribute;  ///< nullopt means the whole node
+};
+
+/// SELECT [ALL | items] FROM from [WHERE predicate].
+struct SelectStatement {
+  bool select_all = true;
+  std::vector<ProjectionItem> items;
+  FromClause from;
+  expr::ExprPtr where;  ///< null when absent
+};
+
+/// CREATE ATOM TYPE name (attr TYPE, ...).
+struct CreateAtomTypeStatement {
+  std::string name;
+  std::vector<std::pair<std::string, DataType>> attributes;
+};
+
+/// CREATE LINK TYPE name (first, second [, '1:1'|'1:n'|'n:1'|'n:m']).
+struct CreateLinkTypeStatement {
+  std::string name;
+  std::string first;
+  std::string second;
+  LinkCardinality cardinality = LinkCardinality::kManyToMany;
+};
+
+/// INSERT INTO type VALUES (v, ...)[, (v, ...)]*.
+struct InsertAtomStatement {
+  std::string atom_type;
+  std::vector<std::vector<Value>> rows;
+};
+
+/// INSERT LINK lname FROM (pred) TO (pred): links every first-role atom
+/// matching the first predicate to every second-role atom matching the
+/// second.
+struct InsertLinkStatement {
+  std::string link_type;
+  expr::ExprPtr first_predicate;
+  expr::ExprPtr second_predicate;
+};
+
+/// DELETE FROM type WHERE pred (links cascade, Def. 2's integrity).
+struct DeleteStatement {
+  std::string atom_type;
+  expr::ExprPtr predicate;  ///< null deletes everything
+};
+
+/// UPDATE type SET attr = expr, ... [WHERE pred]. Assignment expressions
+/// are evaluated against the pre-update atom.
+struct UpdateStatement {
+  std::string atom_type;
+  std::vector<std::pair<std::string, expr::ExprPtr>> assignments;
+  expr::ExprPtr predicate;  ///< null updates everything
+};
+
+/// EXPLAIN <select>: prints the molecule-algebra translation instead of
+/// executing it — the Ch. 4 correspondence made inspectable.
+struct ExplainStatement {
+  SelectStatement select;
+};
+
+using Statement =
+    std::variant<SelectStatement, CreateAtomTypeStatement,
+                 CreateLinkTypeStatement, InsertAtomStatement,
+                 InsertLinkStatement, DeleteStatement, UpdateStatement,
+                 ExplainStatement>;
+
+}  // namespace mql
+}  // namespace mad
+
+#endif  // MAD_MQL_AST_H_

@@ -1,0 +1,332 @@
+#include "mql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace mql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kInteger:
+      return "integer literal";
+    case TokenKind::kDouble:
+      return "double literal";
+    case TokenKind::kLinkRef:
+      return "link reference";
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kAll:
+      return "ALL";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kTrue:
+      return "TRUE";
+    case TokenKind::kFalse:
+      return "FALSE";
+    case TokenKind::kNull:
+      return "NULL";
+    case TokenKind::kCreate:
+      return "CREATE";
+    case TokenKind::kAtom:
+      return "ATOM";
+    case TokenKind::kLink:
+      return "LINK";
+    case TokenKind::kType:
+      return "TYPE";
+    case TokenKind::kInsert:
+      return "INSERT";
+    case TokenKind::kInto:
+      return "INTO";
+    case TokenKind::kValues:
+      return "VALUES";
+    case TokenKind::kDelete:
+      return "DELETE";
+    case TokenKind::kTo:
+      return "TO";
+    case TokenKind::kUpdate:
+      return "UPDATE";
+    case TokenKind::kSet:
+      return "SET";
+    case TokenKind::kExplain:
+      return "EXPLAIN";
+    case TokenKind::kCount:
+      return "COUNT";
+    case TokenKind::kForAll:
+      return "FORALL";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kDash:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Keyword {
+  const char* spelling;
+  TokenKind kind;
+};
+
+constexpr Keyword kKeywords[] = {
+    {"select", TokenKind::kSelect}, {"all", TokenKind::kAll},
+    {"from", TokenKind::kFrom},     {"where", TokenKind::kWhere},
+    {"and", TokenKind::kAnd},       {"or", TokenKind::kOr},
+    {"not", TokenKind::kNot},       {"true", TokenKind::kTrue},
+    {"false", TokenKind::kFalse},   {"null", TokenKind::kNull},
+    {"create", TokenKind::kCreate}, {"atom", TokenKind::kAtom},
+    {"link", TokenKind::kLink},     {"type", TokenKind::kType},
+    {"insert", TokenKind::kInsert}, {"into", TokenKind::kInto},
+    {"values", TokenKind::kValues}, {"delete", TokenKind::kDelete},
+    {"to", TokenKind::kTo},         {"update", TokenKind::kUpdate},
+    {"set", TokenKind::kSet},       {"explain", TokenKind::kExplain},
+    {"count", TokenKind::kCount},   {"forall", TokenKind::kForAll},
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto push = [&](TokenKind kind, size_t pos, std::string spelling = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(spelling);
+    t.position = pos + 1;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t begin = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_')) {
+        ++i;
+      }
+      std::string word = text.substr(begin, i - begin);
+      TokenKind kind = TokenKind::kIdentifier;
+      for (const Keyword& kw : kKeywords) {
+        if (EqualsIgnoreCase(word, kw.spelling)) {
+          kind = kw.kind;
+          break;
+        }
+      }
+      push(kind, begin, std::move(word));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t begin = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i + 1 < n && text[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      std::string number = text.substr(begin, i - begin);
+      Token t;
+      t.position = begin + 1;
+      t.text = number;
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::stod(number);
+      } else {
+        t.kind = TokenKind::kInteger;
+        try {
+          t.int_value = std::stoll(number);
+        } catch (const std::out_of_range&) {
+          return Status::ParseError("integer literal out of range at position " +
+                                    std::to_string(begin + 1));
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += text[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at position " +
+                                  std::to_string(start + 1));
+      }
+      push(TokenKind::kString, start, std::move(value));
+      continue;
+    }
+
+    if (c == '[') {
+      size_t close = text.find(']', i + 1);
+      if (close == std::string::npos) {
+        return Status::ParseError("unterminated link reference at position " +
+                                  std::to_string(start + 1));
+      }
+      std::string body(StripWhitespace(text.substr(i + 1, close - i - 1)));
+      if (body.empty()) {
+        return Status::ParseError("empty link reference at position " +
+                                  std::to_string(start + 1));
+      }
+      push(TokenKind::kLinkRef, start, std::move(body));
+      i = close + 1;
+      continue;
+    }
+
+    auto two = [&](char second) { return i + 1 < n && text[i + 1] == second; };
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        break;
+      case ';':
+        push(TokenKind::kSemicolon, start);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenKind::kDash, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash, start);
+        ++i;
+        break;
+      case '+':
+        push(TokenKind::kPlus, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at position " +
+                                    std::to_string(start + 1));
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (two('>')) {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at position " + std::to_string(start + 1));
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n + 1;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace mql
+}  // namespace mad

@@ -1,0 +1,23 @@
+#ifndef MAD_MQL_LEXER_H_
+#define MAD_MQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "mql/token.h"
+#include "util/result.h"
+
+namespace mad {
+namespace mql {
+
+/// Tokenises one MQL text. Keywords are case-insensitive; identifiers are
+/// [A-Za-z_][A-Za-z0-9_]*; strings are single-quoted with '' escaping;
+/// `[...]` lexes to a link-reference token whose body is taken verbatim
+/// (so link-type names containing '-' remain expressible inside molecule
+/// structures, e.g. `state-[state-area]-area`).
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace mql
+}  // namespace mad
+
+#endif  // MAD_MQL_LEXER_H_

@@ -1,0 +1,99 @@
+#include "mql/optimizer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mad {
+namespace mql {
+
+namespace {
+
+/// Resolves one attribute reference to a node index, mirroring the
+/// qualification resolution rules (label first, unique type name, unique
+/// unqualified attribute).
+Result<size_t> ResolveRef(const Database& db, const MoleculeDescription& md,
+                          const expr::Expr& ref) {
+  if (!ref.qualifier().empty()) return md.ResolveQualifier(ref.qualifier());
+
+  const size_t kNone = static_cast<size_t>(-1);
+  size_t hit = kNone;
+  for (size_t i = 0; i < md.nodes().size(); ++i) {
+    MAD_ASSIGN_OR_RETURN(const AtomType* at,
+                         db.GetAtomType(md.nodes()[i].type_name));
+    if (!at->description().HasAttribute(ref.attribute())) continue;
+    if (md.nodes()[i].attributes.has_value()) {
+      const auto& visible = *md.nodes()[i].attributes;
+      if (std::find(visible.begin(), visible.end(), ref.attribute()) ==
+          visible.end()) {
+        continue;
+      }
+    }
+    if (hit != kNone) {
+      return Status::InvalidArgument("ambiguous attribute '" +
+                                     ref.attribute() + "'");
+    }
+    hit = i;
+  }
+  if (hit == kNone) {
+    return Status::NotFound("attribute '" + ref.attribute() +
+                            "' occurs in no node");
+  }
+  return hit;
+}
+
+void CollectConjuncts(const expr::ExprPtr& node,
+                      std::vector<expr::ExprPtr>* out) {
+  if (node->kind() == expr::Expr::Kind::kAnd) {
+    CollectConjuncts(node->left(), out);
+    CollectConjuncts(node->right(), out);
+    return;
+  }
+  out->push_back(node);
+}
+
+expr::ExprPtr AndAll(const std::vector<expr::ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  expr::ExprPtr result = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    result = expr::And(result, conjuncts[i]);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<bool> IsRootOnly(const Database& db, const MoleculeDescription& md,
+                        const expr::Expr& node) {
+  MAD_ASSIGN_OR_RETURN(size_t root_idx, md.NodeIndex(md.root_label()));
+  std::vector<const expr::Expr*> refs;
+  node.CollectAttrRefs(&refs);
+  if (refs.empty()) return false;  // constant conjuncts stay residual
+  for (const expr::Expr* ref : refs) {
+    MAD_ASSIGN_OR_RETURN(size_t idx, ResolveRef(db, md, *ref));
+    if (idx != root_idx) return false;
+  }
+  return true;
+}
+
+Result<SplitPredicate> SplitRootConjuncts(const Database& db,
+                                          const MoleculeDescription& md,
+                                          const expr::ExprPtr& predicate) {
+  SplitPredicate split;
+  if (predicate == nullptr) return split;
+
+  std::vector<expr::ExprPtr> conjuncts;
+  CollectConjuncts(predicate, &conjuncts);
+
+  std::vector<expr::ExprPtr> root_side;
+  std::vector<expr::ExprPtr> residual_side;
+  for (const expr::ExprPtr& conjunct : conjuncts) {
+    MAD_ASSIGN_OR_RETURN(bool root_only, IsRootOnly(db, md, *conjunct));
+    (root_only ? root_side : residual_side).push_back(conjunct);
+  }
+  split.root_only = AndAll(root_side);
+  split.residual = AndAll(residual_side);
+  return split;
+}
+
+}  // namespace mql
+}  // namespace mad

@@ -1,0 +1,38 @@
+#ifndef MAD_MQL_OPTIMIZER_H_
+#define MAD_MQL_OPTIMIZER_H_
+
+#include "expr/expr.h"
+#include "molecule/description.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+namespace mql {
+
+/// A WHERE predicate split into the part decidable on the root atom alone
+/// and the residual part needing the full molecule. Either side may be
+/// null.
+struct SplitPredicate {
+  expr::ExprPtr root_only;
+  expr::ExprPtr residual;
+};
+
+/// Splits the top-level conjunction of `predicate`: a conjunct whose
+/// attribute references all resolve to the description's root node can be
+/// evaluated *before* deriving the molecule — the restriction-pushdown
+/// rewrite the paper's outlook anticipates ("exploit the algebra to ...
+/// enhance query transformation and query optimization"). Anything else
+/// (disjunctions over mixed nodes, non-root references) stays residual.
+Result<SplitPredicate> SplitRootConjuncts(const Database& db,
+                                          const MoleculeDescription& md,
+                                          const expr::ExprPtr& predicate);
+
+/// True iff every attribute reference in `node` binds to the root node of
+/// `md` (explicitly or as an unambiguous unqualified reference).
+Result<bool> IsRootOnly(const Database& db, const MoleculeDescription& md,
+                        const expr::Expr& node);
+
+}  // namespace mql
+}  // namespace mad
+
+#endif  // MAD_MQL_OPTIMIZER_H_

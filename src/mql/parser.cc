@@ -1,0 +1,582 @@
+#include "mql/parser.h"
+
+#include <cctype>
+
+#include "mql/lexer.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace mql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseOne() {
+    MAD_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    if (Peek().kind == TokenKind::kSemicolon) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> statements;
+    while (Peek().kind != TokenKind::kEnd) {
+      MAD_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+      statements.push_back(std::move(stmt));
+      if (Peek().kind == TokenKind::kSemicolon) {
+        Advance();
+      } else if (Peek().kind != TokenKind::kEnd) {
+        return Error("expected ';' between statements");
+      }
+    }
+    return statements;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenKind kind) {
+    if (Accept(kind)) return Status::OK();
+    return Error(std::string("expected ") + TokenKindName(kind) + ", found " +
+                 TokenKindName(Peek().kind));
+  }
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " (position " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what + ", found " +
+                   TokenKindName(Peek().kind));
+    }
+    return Advance().text;
+  }
+
+  Result<Statement> ParseStatementInner() {
+    switch (Peek().kind) {
+      case TokenKind::kSelect:
+        return ParseSelect();
+      case TokenKind::kCreate:
+        return ParseCreate();
+      case TokenKind::kInsert:
+        return ParseInsert();
+      case TokenKind::kDelete:
+        return ParseDelete();
+      case TokenKind::kUpdate:
+        return ParseUpdate();
+      case TokenKind::kExplain: {
+        Advance();
+        MAD_ASSIGN_OR_RETURN(Statement inner, ParseSelect());
+        ExplainStatement stmt;
+        stmt.select = std::get<SelectStatement>(std::move(inner));
+        return Statement(std::move(stmt));
+      }
+      default:
+        return Error(
+            "expected SELECT, CREATE, INSERT, UPDATE, DELETE, or EXPLAIN");
+    }
+  }
+
+  // SELECT (ALL | items) FROM from [WHERE expr]
+  Result<Statement> ParseSelect() {
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kSelect));
+    SelectStatement stmt;
+    if (Accept(TokenKind::kAll)) {
+      stmt.select_all = true;
+    } else {
+      stmt.select_all = false;
+      do {
+        ProjectionItem item;
+        MAD_ASSIGN_OR_RETURN(item.label, ExpectIdentifier("projection label"));
+        if (Accept(TokenKind::kDot)) {
+          if (Accept(TokenKind::kStar)) {
+            item.attribute = std::nullopt;  // label.* == label
+          } else {
+            MAD_ASSIGN_OR_RETURN(std::string attr,
+                                 ExpectIdentifier("attribute name"));
+            item.attribute = std::move(attr);
+          }
+        }
+        stmt.items.push_back(std::move(item));
+      } while (Accept(TokenKind::kComma));
+    }
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+    MAD_ASSIGN_OR_RETURN(stmt.from, ParseFrom());
+    if (Accept(TokenKind::kWhere)) {
+      MAD_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  // from := IDENT '(' structure ')' | structure
+  Result<FromClause> ParseFrom() {
+    FromClause from;
+    // Named form: IDENT '(' ... — but `a-(b,c)` also puts '(' after a
+    // *connector*, never directly after the first identifier, so the
+    // two-token lookahead is unambiguous.
+    if (Peek().kind == TokenKind::kIdentifier &&
+        Peek(1).kind == TokenKind::kLParen) {
+      from.molecule_name = Advance().text;
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      MAD_ASSIGN_OR_RETURN(from.structure, ParseStructure());
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return from;
+    }
+    MAD_ASSIGN_OR_RETURN(from.structure, ParseStructure());
+    return from;
+  }
+
+  // structure := IDENT tail ; tail handles chains and parenthesised branch
+  // lists. `A-B-C` chains (B continues the walk), `A-(B-C,D)` branches,
+  // and `A-[l*]-B-...` expands every closure member of a recursive step by
+  // the remaining structure (implicitly rooted at A).
+  Result<std::unique_ptr<StructureNode>> ParseStructure() {
+    auto node = std::make_unique<StructureNode>();
+    MAD_ASSIGN_OR_RETURN(node->atom, ExpectIdentifier("atom type"));
+    MAD_RETURN_IF_ERROR(ParseTail(node.get()));
+    return node;
+  }
+
+  Status ParseTail(StructureNode* start) {
+    StructureNode* current = start;
+    while (Peek().kind == TokenKind::kDash) {
+      Advance();  // '-'
+      StructureNode::Branch branch;
+      if (Peek().kind == TokenKind::kLinkRef) {
+        std::string body = Advance().text;
+        // A '*' may carry a depth bound: [composition*3]. Digits belong to
+        // the link name unless a '*' precedes them.
+        size_t digits_begin = body.size();
+        while (digits_begin > 0 &&
+               std::isdigit(static_cast<unsigned char>(body[digits_begin - 1]))) {
+          --digits_begin;
+        }
+        if (digits_begin < body.size() && digits_begin > 0 &&
+            body[digits_begin - 1] == '*') {
+          branch.recursive = true;
+          branch.recursive_depth = std::stoi(body.substr(digits_begin));
+          body.resize(digits_begin - 1);
+        }
+        // Trailing '*' and '~' flags, any order.
+        bool changed = true;
+        while (changed && !body.empty()) {
+          changed = false;
+          if (body.back() == '*') {
+            branch.recursive = true;
+            body.pop_back();
+            changed = true;
+          } else if (body.back() == '~') {
+            branch.reverse = true;
+            body.pop_back();
+            changed = true;
+          }
+        }
+        body = std::string(StripWhitespace(body));
+        if (body.empty()) return Error("empty link name in link reference");
+        branch.link = std::move(body);
+        if (branch.recursive) {
+          // A recursive step ends the chain; an optional '-' tail becomes
+          // the per-member expansion structure, implicitly rooted at the
+          // recursion's atom type.
+          if (Accept(TokenKind::kDash)) {
+            auto expansion = std::make_unique<StructureNode>();
+            expansion->atom = current->atom;
+            StructureNode::Branch inner;
+            if (Peek().kind == TokenKind::kLinkRef) {
+              std::string inner_body = Advance().text;
+              inner_body = std::string(StripWhitespace(inner_body));
+              if (inner_body.empty() || inner_body.back() == '*') {
+                return Error("nested recursion is not supported");
+              }
+              if (!inner_body.empty() && inner_body.back() == '~') {
+                inner.reverse = true;
+                inner_body.pop_back();
+              }
+              inner.link = std::move(inner_body);
+              MAD_RETURN_IF_ERROR(Expect(TokenKind::kDash));
+            }
+            if (Accept(TokenKind::kLParen)) {
+              do {
+                StructureNode::Branch element;
+                element.link = inner.link;
+                element.reverse = inner.reverse;
+                MAD_ASSIGN_OR_RETURN(element.child, ParseStructure());
+                expansion->branches.push_back(std::move(element));
+              } while (Accept(TokenKind::kComma));
+              MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+            } else {
+              MAD_ASSIGN_OR_RETURN(inner.child, ParseStructure());
+              expansion->branches.push_back(std::move(inner));
+            }
+            branch.child = std::move(expansion);
+          }
+          current->branches.push_back(std::move(branch));
+          return Status::OK();
+        }
+        MAD_RETURN_IF_ERROR(Expect(TokenKind::kDash));
+      }
+      if (Accept(TokenKind::kLParen)) {
+        // Branch list: each element is a full sub-structure; the chain does
+        // not continue after ')'.
+        std::optional<std::string> shared_link = branch.link;
+        bool shared_reverse = branch.reverse;
+        do {
+          StructureNode::Branch element;
+          element.link = shared_link;
+          element.reverse = shared_reverse;
+          MAD_ASSIGN_OR_RETURN(element.child, ParseStructure());
+          current->branches.push_back(std::move(element));
+        } while (Accept(TokenKind::kComma));
+        MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        break;
+      }
+      MAD_ASSIGN_OR_RETURN(std::string next_atom,
+                           ExpectIdentifier("atom type after '-'"));
+      auto child = std::make_unique<StructureNode>();
+      child->atom = std::move(next_atom);
+      StructureNode* next = child.get();
+      branch.child = std::move(child);
+      current->branches.push_back(std::move(branch));
+      current = next;  // the chain continues from the new node
+    }
+    return Status::OK();
+  }
+
+  // ---- DDL / DML ------------------------------------------------------
+
+  Result<Statement> ParseCreate() {
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kCreate));
+    if (Accept(TokenKind::kAtom)) {
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kType));
+      CreateAtomTypeStatement stmt;
+      MAD_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("atom type name"));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      do {
+        MAD_ASSIGN_OR_RETURN(std::string attr,
+                             ExpectIdentifier("attribute name"));
+        MAD_ASSIGN_OR_RETURN(std::string type_name,
+                             ExpectIdentifier("data type"));
+        DataType type = DataTypeFromName(type_name);
+        if (type == DataType::kNull) {
+          return Error("unknown data type '" + type_name + "'");
+        }
+        stmt.attributes.emplace_back(std::move(attr), type);
+      } while (Accept(TokenKind::kComma));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Statement(std::move(stmt));
+    }
+    if (Accept(TokenKind::kLink)) {
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kType));
+      CreateLinkTypeStatement stmt;
+      MAD_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("link type name"));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      MAD_ASSIGN_OR_RETURN(stmt.first, ExpectIdentifier("atom type"));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      MAD_ASSIGN_OR_RETURN(stmt.second, ExpectIdentifier("atom type"));
+      if (Accept(TokenKind::kComma)) {
+        // Extended link-type definition: cardinality restriction.
+        if (Peek().kind != TokenKind::kString) {
+          return Error("expected cardinality string like '1:n'");
+        }
+        std::string text = Advance().text;
+        if (!ParseLinkCardinality(text, &stmt.cardinality)) {
+          return Error("bad cardinality '" + text +
+                       "' (use '1:1', '1:n', 'n:1', or 'n:m')");
+        }
+      }
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Statement(std::move(stmt));
+    }
+    return Error("expected ATOM TYPE or LINK TYPE after CREATE");
+  }
+
+  Result<Statement> ParseInsert() {
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kInsert));
+    if (Accept(TokenKind::kInto)) {
+      InsertAtomStatement stmt;
+      MAD_ASSIGN_OR_RETURN(stmt.atom_type, ExpectIdentifier("atom type"));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kValues));
+      do {
+        MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+        std::vector<Value> row;
+        if (Peek().kind != TokenKind::kRParen) {
+          do {
+            MAD_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+            row.push_back(std::move(v));
+          } while (Accept(TokenKind::kComma));
+        }
+        MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        stmt.rows.push_back(std::move(row));
+      } while (Accept(TokenKind::kComma));
+      return Statement(std::move(stmt));
+    }
+    if (Accept(TokenKind::kLink)) {
+      InsertLinkStatement stmt;
+      if (Peek().kind == TokenKind::kLinkRef) {
+        stmt.link_type = Advance().text;
+      } else {
+        MAD_ASSIGN_OR_RETURN(stmt.link_type, ExpectIdentifier("link type"));
+      }
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      MAD_ASSIGN_OR_RETURN(stmt.first_predicate, ParseExpr());
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kTo));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      MAD_ASSIGN_OR_RETURN(stmt.second_predicate, ParseExpr());
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Statement(std::move(stmt));
+    }
+    return Error("expected INTO or LINK after INSERT");
+  }
+
+  Result<Statement> ParseDelete() {
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kDelete));
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+    DeleteStatement stmt;
+    MAD_ASSIGN_OR_RETURN(stmt.atom_type, ExpectIdentifier("atom type"));
+    if (Accept(TokenKind::kWhere)) {
+      MAD_ASSIGN_OR_RETURN(stmt.predicate, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseUpdate() {
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kUpdate));
+    UpdateStatement stmt;
+    MAD_ASSIGN_OR_RETURN(stmt.atom_type, ExpectIdentifier("atom type"));
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kSet));
+    do {
+      MAD_ASSIGN_OR_RETURN(std::string attr,
+                           ExpectIdentifier("attribute name"));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      MAD_ASSIGN_OR_RETURN(expr::ExprPtr value, ParseAdditive());
+      stmt.assignments.emplace_back(std::move(attr), std::move(value));
+    } while (Accept(TokenKind::kComma));
+    if (Accept(TokenKind::kWhere)) {
+      MAD_ASSIGN_OR_RETURN(stmt.predicate, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  // ---- Expressions (WHERE clauses) --------------------------------------
+
+  Result<Value> ParseLiteralValue() {
+    bool negative = false;
+    if (Accept(TokenKind::kDash)) negative = true;
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kString:
+        if (negative) return Error("cannot negate a string literal");
+        Advance();
+        return Value(t.text);
+      case TokenKind::kInteger:
+        Advance();
+        return Value(negative ? -t.int_value : t.int_value);
+      case TokenKind::kDouble:
+        Advance();
+        return Value(negative ? -t.double_value : t.double_value);
+      case TokenKind::kTrue:
+        Advance();
+        return Value(true);
+      case TokenKind::kFalse:
+        Advance();
+        return Value(false);
+      case TokenKind::kNull:
+        Advance();
+        return Value();
+      default:
+        return Error("expected literal value");
+    }
+  }
+
+  Result<expr::ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<expr::ExprPtr> ParseOr() {
+    MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseAnd());
+    while (Accept(TokenKind::kOr)) {
+      MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseAnd());
+      lhs = expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<expr::ExprPtr> ParseAnd() {
+    MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseNot());
+    while (Accept(TokenKind::kAnd)) {
+      MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseNot());
+      lhs = expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<expr::ExprPtr> ParseNot() {
+    if (Accept(TokenKind::kNot)) {
+      MAD_ASSIGN_OR_RETURN(expr::ExprPtr operand, ParseNot());
+      return expr::Not(std::move(operand));
+    }
+    if (Accept(TokenKind::kForAll)) {
+      MAD_ASSIGN_OR_RETURN(std::string label,
+                           ExpectIdentifier("node label after FORALL"));
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      MAD_ASSIGN_OR_RETURN(expr::ExprPtr inner, ParseExpr());
+      MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return expr::ForAll(std::move(label), std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  Result<expr::ExprPtr> ParseComparison() {
+    MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseAdditive());
+    expr::CompareOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = expr::CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = expr::CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = expr::CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = expr::CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = expr::CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = expr::CompareOp::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseAdditive());
+    return expr::Expr::MakeCompare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<expr::ExprPtr> ParseAdditive() {
+    MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (Accept(TokenKind::kPlus)) {
+        MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseMultiplicative());
+        lhs = expr::Add(std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kDash)) {
+        MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseMultiplicative());
+        lhs = expr::Sub(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<expr::ExprPtr> ParseMultiplicative() {
+    MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (Accept(TokenKind::kStar)) {
+        MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseUnary());
+        lhs = expr::Mul(std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kSlash)) {
+        MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseUnary());
+        lhs = expr::Div(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<expr::ExprPtr> ParseUnary() {
+    if (Accept(TokenKind::kDash)) {
+      MAD_ASSIGN_OR_RETURN(expr::ExprPtr operand, ParseUnary());
+      return expr::Sub(expr::Lit(int64_t{0}), std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<expr::ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kString:
+        Advance();
+        return expr::Lit(Value(t.text));
+      case TokenKind::kInteger:
+        Advance();
+        return expr::Lit(Value(t.int_value));
+      case TokenKind::kDouble:
+        Advance();
+        return expr::Lit(Value(t.double_value));
+      case TokenKind::kTrue:
+        Advance();
+        return expr::Lit(Value(true));
+      case TokenKind::kFalse:
+        Advance();
+        return expr::Lit(Value(false));
+      case TokenKind::kNull:
+        Advance();
+        return expr::Lit(Value());
+      case TokenKind::kIdentifier: {
+        std::string first = Advance().text;
+        if (Accept(TokenKind::kDot)) {
+          MAD_ASSIGN_OR_RETURN(std::string attr,
+                               ExpectIdentifier("attribute name"));
+          return expr::Attr(std::move(first), std::move(attr));
+        }
+        return expr::Attr(std::move(first));
+      }
+      case TokenKind::kCount: {
+        Advance();
+        MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+        MAD_ASSIGN_OR_RETURN(std::string label,
+                             ExpectIdentifier("node label"));
+        MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return expr::Count(std::move(label));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        MAD_ASSIGN_OR_RETURN(expr::ExprPtr inner, ParseExpr());
+        MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      default:
+        return Error(std::string("unexpected ") + TokenKindName(t.kind) +
+                     " in expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& text) {
+  MAD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseOne();
+}
+
+Result<std::vector<Statement>> ParseScript(const std::string& text) {
+  MAD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+}  // namespace mql
+}  // namespace mad

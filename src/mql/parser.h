@@ -1,0 +1,22 @@
+#ifndef MAD_MQL_PARSER_H_
+#define MAD_MQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "mql/ast.h"
+#include "util/result.h"
+
+namespace mad {
+namespace mql {
+
+/// Parses exactly one MQL statement (the trailing ';' is optional).
+Result<Statement> ParseStatement(const std::string& text);
+
+/// Parses a ';'-separated script into its statements.
+Result<std::vector<Statement>> ParseScript(const std::string& text);
+
+}  // namespace mql
+}  // namespace mad
+
+#endif  // MAD_MQL_PARSER_H_

@@ -1,0 +1,506 @@
+#include "mql/session.h"
+
+#include "expr/eval.h"
+#include "molecule/derivation.h"
+#include "molecule/operations.h"
+#include "molecule/qualification.h"
+#include "mql/optimizer.h"
+#include "mql/parser.h"
+#include "mql/translator.h"
+
+namespace mad {
+namespace mql {
+
+namespace {
+
+/// Evaluates a WHERE predicate over one recursive molecule. Permitted
+/// qualifiers: "root" (binds the root atom only), the recursion's atom
+/// type (existential over the closure members), or none (unqualified
+/// attributes of the atom type).
+class RecursiveQualifier {
+ public:
+  RecursiveQualifier(const Database& db, const RecursiveDescription& rd,
+                     const expr::ExprPtr& predicate)
+      : db_(db), rd_(rd), predicate_(predicate) {}
+
+  Result<bool> Matches(const RecursiveMolecule& m) const {
+    return EvalBoolean(*predicate_, m);
+  }
+
+ private:
+  Result<bool> EvalBoolean(const expr::Expr& e,
+                           const RecursiveMolecule& m) const {
+    using K = expr::Expr::Kind;
+    switch (e.kind()) {
+      case K::kAnd: {
+        MAD_ASSIGN_OR_RETURN(bool lhs, EvalBoolean(*e.left(), m));
+        if (!lhs) return false;
+        return EvalBoolean(*e.right(), m);
+      }
+      case K::kOr: {
+        MAD_ASSIGN_OR_RETURN(bool lhs, EvalBoolean(*e.left(), m));
+        if (lhs) return true;
+        return EvalBoolean(*e.right(), m);
+      }
+      case K::kNot: {
+        MAD_ASSIGN_OR_RETURN(bool operand, EvalBoolean(*e.left(), m));
+        return !operand;
+      }
+      default:
+        return EvalExistential(e, m);
+    }
+  }
+
+  Result<bool> EvalExistential(const expr::Expr& e,
+                               const RecursiveMolecule& m) const {
+    std::vector<const expr::Expr*> refs;
+    e.CollectAttrRefs(&refs);
+    bool needs_root = false;
+    bool needs_member = false;
+    for (const expr::Expr* ref : refs) {
+      if (ref->qualifier() == "root") {
+        needs_root = true;
+      } else if (ref->qualifier().empty() ||
+                 ref->qualifier() == rd_.atom_type) {
+        needs_member = true;
+      } else {
+        return Status::InvalidArgument(
+            "recursive queries allow the qualifiers 'root' and '" +
+            rd_.atom_type + "'; found '" + ref->qualifier() + "'");
+      }
+    }
+
+    MAD_ASSIGN_OR_RETURN(const AtomType* at, db_.GetAtomType(rd_.atom_type));
+    const Schema& schema = at->description();
+    const Atom* root_atom = at->occurrence().Find(m.root());
+    if (root_atom == nullptr) {
+      return Status::Internal("recursive molecule root missing from store");
+    }
+
+    expr::BindingSet bindings;
+    if (needs_root) bindings.Bind("root", &schema, root_atom);
+    if (!needs_member) {
+      return expr::EvalPredicate(e, bindings);
+    }
+    // Existential over every closure member (the root included).
+    for (const auto& level : m.levels()) {
+      for (AtomId id : level) {
+        const Atom* atom = at->occurrence().Find(id);
+        if (atom == nullptr) {
+          return Status::Internal("recursive molecule atom missing from store");
+        }
+        bindings.Bind(rd_.atom_type, &schema, atom);
+        MAD_ASSIGN_OR_RETURN(bool hit, expr::EvalPredicate(e, bindings));
+        if (hit) return true;
+      }
+    }
+    return false;
+  }
+
+  const Database& db_;
+  const RecursiveDescription& rd_;
+  const expr::ExprPtr& predicate_;
+};
+
+}  // namespace
+
+Result<QueryResult> Session::Execute(const std::string& text) {
+  MAD_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
+  return Run(std::move(stmt));
+}
+
+Result<std::vector<QueryResult>> Session::ExecuteScript(
+    const std::string& text) {
+  MAD_ASSIGN_OR_RETURN(std::vector<Statement> statements, ParseScript(text));
+  std::vector<QueryResult> results;
+  results.reserve(statements.size());
+  for (Statement& stmt : statements) {
+    MAD_ASSIGN_OR_RETURN(QueryResult result, Run(std::move(stmt)));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Result<QueryResult> Session::Run(Statement statement) {
+  return std::visit(
+      [this](auto&& stmt) -> Result<QueryResult> {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, SelectStatement>) {
+          return RunSelect(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, CreateAtomTypeStatement>) {
+          return RunCreateAtomType(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, CreateLinkTypeStatement>) {
+          return RunCreateLinkType(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, InsertAtomStatement>) {
+          return RunInsertAtom(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, InsertLinkStatement>) {
+          return RunInsertLink(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, UpdateStatement>) {
+          return RunUpdate(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, ExplainStatement>) {
+          return RunExplain(std::move(stmt));
+        } else {
+          return RunDelete(std::move(stmt));
+        }
+      },
+      std::move(statement));
+}
+
+Status Session::RegisterMoleculeType(const std::string& name,
+                                     MoleculeDescription description) {
+  if (name.empty()) {
+    return Status::InvalidArgument("molecule type name must be non-empty");
+  }
+  registry_.insert_or_assign(name, std::move(description));
+  return Status::OK();
+}
+
+Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
+  // Resolve the FROM clause into a molecule or recursive description.
+  std::optional<MoleculeDescription> md;
+  std::optional<RecursiveDescription> rd;
+  std::optional<MoleculeDescription> expansion;
+  std::string name = stmt.from.molecule_name.empty() ? "query"
+                                                     : stmt.from.molecule_name;
+
+  const StructureNode& root = *stmt.from.structure;
+  bool bare_identifier =
+      stmt.from.molecule_name.empty() && root.branches.empty();
+  auto registered = bare_identifier ? registry_.find(root.atom)
+                                    : registry_.end();
+  if (registered != registry_.end()) {
+    md = registered->second;
+    name = registered->first;
+  } else {
+    MAD_ASSIGN_OR_RETURN(TranslatedFrom translated,
+                         TranslateStructure(*db_, root));
+    md = std::move(translated.description);
+    rd = std::move(translated.recursive);
+    expansion = std::move(translated.recursive_expansion);
+    if (!stmt.from.molecule_name.empty() && md.has_value()) {
+      MAD_RETURN_IF_ERROR(RegisterMoleculeType(stmt.from.molecule_name, *md));
+    }
+  }
+
+  QueryResult result;
+  if (rd.has_value()) {
+    // Recursive query: SELECT ALL only (the closure is the result).
+    if (!stmt.select_all) {
+      return Status::Unsupported(
+          "recursive queries support SELECT ALL projections only");
+    }
+    MAD_ASSIGN_OR_RETURN(std::vector<RecursiveMolecule> molecules,
+                         DeriveRecursiveMolecules(*db_, *rd));
+    result.kind = QueryResult::Kind::kRecursive;
+    result.recursive_description = *rd;
+    if (stmt.where != nullptr) {
+      RecursiveQualifier qualifier(*db_, *rd, stmt.where);
+      for (RecursiveMolecule& m : molecules) {
+        MAD_ASSIGN_OR_RETURN(bool hit, qualifier.Matches(m));
+        if (hit) result.recursive.push_back(std::move(m));
+      }
+    } else {
+      result.recursive = std::move(molecules);
+    }
+    if (expansion.has_value()) {
+      // Expansion tail: one component molecule per closure member, derived
+      // only for the closures that survived the WHERE filter.
+      for (const RecursiveMolecule& m : result.recursive) {
+        std::vector<AtomId> members;
+        for (const auto& level : m.levels()) {
+          members.insert(members.end(), level.begin(), level.end());
+        }
+        MAD_ASSIGN_OR_RETURN(
+            std::vector<Molecule> components,
+            DeriveMoleculesForRoots(*db_, *expansion, members));
+        result.recursive_components.push_back(std::move(components));
+      }
+      result.expansion_description = std::move(expansion);
+    }
+    return result;
+  }
+
+  // Ch. 4 translation: a (definition) ∘ Σ (WHERE) ∘ Π (SELECT), with
+  // root-only WHERE conjuncts optionally pushed below the derivation.
+  expr::ExprPtr residual_where = stmt.where;
+  std::optional<MoleculeType> derived;
+  if (options_.enable_root_pushdown && stmt.where != nullptr) {
+    MAD_ASSIGN_OR_RETURN(SplitPredicate split,
+                         SplitRootConjuncts(*db_, *md, stmt.where));
+    if (split.root_only != nullptr) {
+      residual_where = split.residual;
+      MAD_ASSIGN_OR_RETURN(
+          MoleculeQualifier root_qualifier,
+          MoleculeQualifier::Create(*db_, *md, split.root_only));
+      MAD_ASSIGN_OR_RETURN(size_t root_idx, md->NodeIndex(md->root_label()));
+      MAD_ASSIGN_OR_RETURN(const AtomType* root_at,
+                           db_->GetAtomType(md->root_node().type_name));
+      std::vector<AtomId> qualifying;
+      for (const Atom& atom : root_at->occurrence().atoms()) {
+        // A skeleton molecule holding only the candidate root is enough to
+        // evaluate a root-only predicate.
+        Molecule skeleton(atom.id, md->nodes().size());
+        skeleton.MutableAtomsOf(root_idx).push_back(atom.id);
+        MAD_ASSIGN_OR_RETURN(bool hit, root_qualifier.Matches(skeleton));
+        if (hit) qualifying.push_back(atom.id);
+      }
+      MAD_ASSIGN_OR_RETURN(std::vector<Molecule> molecules,
+                           DeriveMoleculesForRoots(*db_, *md, qualifying));
+      derived.emplace(name, *md, std::move(molecules));
+    }
+  }
+  if (!derived.has_value()) {
+    MAD_ASSIGN_OR_RETURN(MoleculeType full,
+                         DefineMoleculeType(*db_, name, *md));
+    derived.emplace(std::move(full));
+  }
+  MoleculeType mt = *std::move(derived);
+  if (residual_where != nullptr) {
+    MAD_ASSIGN_OR_RETURN(mt,
+                         RestrictMolecules(*db_, mt, residual_where, name));
+  }
+  if (!stmt.select_all) {
+    MAD_ASSIGN_OR_RETURN(MoleculeProjectionSpec spec,
+                         TranslateProjection(mt.description(), stmt.items));
+    MAD_ASSIGN_OR_RETURN(mt, ProjectMolecules(*db_, mt, spec, name));
+  }
+  result.kind = QueryResult::Kind::kMolecules;
+  result.molecules = std::make_shared<MoleculeType>(std::move(mt));
+  return result;
+}
+
+Result<QueryResult> Session::RunCreateAtomType(CreateAtomTypeStatement stmt) {
+  Schema schema;
+  for (const auto& [attr, type] : stmt.attributes) {
+    MAD_RETURN_IF_ERROR(schema.AddAttribute(attr, type));
+  }
+  MAD_RETURN_IF_ERROR(db_->DefineAtomType(stmt.name, std::move(schema)));
+  QueryResult result;
+  result.message = "atom type '" + stmt.name + "' created";
+  return result;
+}
+
+Result<QueryResult> Session::RunCreateLinkType(CreateLinkTypeStatement stmt) {
+  MAD_RETURN_IF_ERROR(db_->DefineLinkType(stmt.name, stmt.first, stmt.second,
+                                          stmt.cardinality));
+  QueryResult result;
+  result.message = "link type '" + stmt.name + "' created";
+  return result;
+}
+
+Result<QueryResult> Session::RunInsertAtom(InsertAtomStatement stmt) {
+  QueryResult result;
+  for (std::vector<Value>& row : stmt.rows) {
+    MAD_RETURN_IF_ERROR(db_->InsertAtom(stmt.atom_type, std::move(row)).status());
+    ++result.affected;
+  }
+  result.message = std::to_string(result.affected) + " atom(s) inserted into '" +
+                   stmt.atom_type + "'";
+  return result;
+}
+
+namespace {
+
+/// Atoms of `aname` matching `predicate` (validated up front).
+Result<std::vector<AtomId>> MatchingAtoms(const Database& db,
+                                          const std::string& aname,
+                                          const expr::ExprPtr& predicate) {
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(aname));
+  MAD_RETURN_IF_ERROR(
+      expr::ValidateAgainstSchema(*predicate, aname, at->description()));
+  std::vector<AtomId> matches;
+  for (const Atom& atom : at->occurrence().atoms()) {
+    MAD_ASSIGN_OR_RETURN(
+        bool hit, expr::EvalOnAtom(*predicate, aname, at->description(), atom));
+    if (hit) matches.push_back(atom.id);
+  }
+  return matches;
+}
+
+}  // namespace
+
+Result<QueryResult> Session::RunInsertLink(InsertLinkStatement stmt) {
+  MAD_ASSIGN_OR_RETURN(const LinkType* lt, db_->GetLinkType(stmt.link_type));
+  MAD_ASSIGN_OR_RETURN(
+      std::vector<AtomId> first_atoms,
+      MatchingAtoms(*db_, lt->first_atom_type(), stmt.first_predicate));
+  MAD_ASSIGN_OR_RETURN(
+      std::vector<AtomId> second_atoms,
+      MatchingAtoms(*db_, lt->second_atom_type(), stmt.second_predicate));
+
+  QueryResult result;
+  for (AtomId first : first_atoms) {
+    for (AtomId second : second_atoms) {
+      Status s = db_->InsertLink(stmt.link_type, first, second);
+      if (s.ok()) {
+        ++result.affected;
+      } else if (s.code() != StatusCode::kAlreadyExists) {
+        return s;
+      }
+    }
+  }
+  result.message = std::to_string(result.affected) + " link(s) inserted into '" +
+                   stmt.link_type + "'";
+  return result;
+}
+
+Result<QueryResult> Session::RunUpdate(UpdateStatement stmt) {
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, db_->GetAtomType(stmt.atom_type));
+  const Schema& schema = at->description();
+
+  // Resolve assignment targets and validate value expressions' references.
+  std::vector<size_t> target_indexes;
+  for (const auto& [attr, value_expr] : stmt.assignments) {
+    MAD_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(attr));
+    target_indexes.push_back(idx);
+    std::vector<const expr::Expr*> refs;
+    value_expr->CollectAttrRefs(&refs);
+    for (const expr::Expr* ref : refs) {
+      if (!ref->qualifier().empty() && ref->qualifier() != stmt.atom_type) {
+        return Status::InvalidArgument("qualifier '" + ref->qualifier() +
+                                       "' does not match atom type '" +
+                                       stmt.atom_type + "'");
+      }
+      if (!schema.HasAttribute(ref->attribute())) {
+        return Status::NotFound("unknown attribute '" + ref->attribute() +
+                                "' in atom type '" + stmt.atom_type + "'");
+      }
+    }
+  }
+
+  std::vector<AtomId> targets;
+  if (stmt.predicate != nullptr) {
+    MAD_ASSIGN_OR_RETURN(targets,
+                         MatchingAtoms(*db_, stmt.atom_type, stmt.predicate));
+  } else {
+    for (const Atom& atom : at->occurrence().atoms()) targets.push_back(atom.id);
+  }
+
+  QueryResult result;
+  for (AtomId id : targets) {
+    const Atom* atom = at->occurrence().Find(id);
+    if (atom == nullptr) continue;
+    expr::BindingSet bindings;
+    bindings.Bind(stmt.atom_type, &schema, atom);
+    std::vector<Value> values = atom->values;
+    for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+      MAD_ASSIGN_OR_RETURN(
+          Value v, expr::EvalValue(*stmt.assignments[i].second, bindings));
+      values[target_indexes[i]] = std::move(v);
+    }
+    MAD_RETURN_IF_ERROR(db_->UpdateAtom(stmt.atom_type, id, std::move(values)));
+    ++result.affected;
+  }
+  result.message = std::to_string(result.affected) + " atom(s) updated in '" +
+                   stmt.atom_type + "'";
+  return result;
+}
+
+Result<QueryResult> Session::RunExplain(ExplainStatement stmt) {
+  const SelectStatement& select = stmt.select;
+  const StructureNode& root = *select.from.structure;
+
+  std::string plan = "-- molecule algebra translation --\n";
+
+  std::optional<MoleculeDescription> md;
+  std::optional<RecursiveDescription> rd;
+  std::optional<MoleculeDescription> expansion;
+  std::string name = select.from.molecule_name.empty()
+                         ? "query"
+                         : select.from.molecule_name;
+  bool bare_identifier =
+      select.from.molecule_name.empty() && root.branches.empty();
+  auto registered =
+      bare_identifier ? registry_.find(root.atom) : registry_.end();
+  if (registered != registry_.end()) {
+    md = registered->second;
+    name = registered->first;
+  } else {
+    MAD_ASSIGN_OR_RETURN(TranslatedFrom translated,
+                         TranslateStructure(*db_, root));
+    md = std::move(translated.description);
+    rd = std::move(translated.recursive);
+    expansion = std::move(translated.recursive_expansion);
+  }
+
+  if (rd.has_value()) {
+    plan += "closure[" + rd->atom_type + ", " + rd->link_type + ", " +
+            (rd->direction == LinkDirection::kForward ? "forward" : "backward");
+    plan += rd->max_depth < 0 ? ", unbounded]"
+                              : ", depth<=" + std::to_string(rd->max_depth) +
+                                    "]";
+    plan += "   -- recursive molecule type [Schö89]\n";
+    if (expansion.has_value()) {
+      plan += "expand-each[" + expansion->ToString() +
+              "]   -- per-member component molecule\n";
+    }
+  } else {
+    plan += "a[" + name + ", {";
+    for (size_t j = 0; j < md->links().size(); ++j) {
+      if (j > 0) plan += ", ";
+      const DirectedLink& dl = md->links()[j];
+      plan += "<" + dl.link_type + ": " + dl.from +
+              (dl.reverse ? " <~ " : " -> ") + dl.to + ">";
+    }
+    plan += "}]({";
+    for (size_t i = 0; i < md->nodes().size(); ++i) {
+      if (i > 0) plan += ", ";
+      plan += md->nodes()[i].label;
+    }
+    plan += "})   -- molecule-type definition (Def. 8)\n";
+  }
+
+  if (select.where != nullptr) {
+    plan += "Sigma[" + select.where->ToString() +
+            "]   -- molecule-type restriction (Def. 10)\n";
+  }
+  if (!select.select_all) {
+    if (rd.has_value()) {
+      return Status::Unsupported(
+          "recursive queries support SELECT ALL projections only");
+    }
+    MAD_ASSIGN_OR_RETURN(MoleculeProjectionSpec spec,
+                         TranslateProjection(*md, select.items));
+    plan += "Pi[{";
+    for (size_t i = 0; i < spec.keep_labels.size(); ++i) {
+      if (i > 0) plan += ", ";
+      plan += spec.keep_labels[i];
+      auto it = spec.attributes.find(spec.keep_labels[i]);
+      if (it != spec.attributes.end()) {
+        plan += "(";
+        for (size_t j = 0; j < it->second.size(); ++j) {
+          if (j > 0) plan += ",";
+          plan += it->second[j];
+        }
+        plan += ")";
+      }
+    }
+    plan += "}]   -- molecule-type projection\n";
+  }
+
+  QueryResult result;
+  result.message = std::move(plan);
+  return result;
+}
+
+Result<QueryResult> Session::RunDelete(DeleteStatement stmt) {
+  std::vector<AtomId> doomed;
+  if (stmt.predicate != nullptr) {
+    MAD_ASSIGN_OR_RETURN(doomed,
+                         MatchingAtoms(*db_, stmt.atom_type, stmt.predicate));
+  } else {
+    MAD_ASSIGN_OR_RETURN(const AtomType* at, db_->GetAtomType(stmt.atom_type));
+    for (const Atom& atom : at->occurrence().atoms()) doomed.push_back(atom.id);
+  }
+  QueryResult result;
+  for (AtomId id : doomed) {
+    MAD_RETURN_IF_ERROR(db_->DeleteAtom(stmt.atom_type, id));
+    ++result.affected;
+  }
+  result.message = std::to_string(result.affected) + " atom(s) deleted from '" +
+                   stmt.atom_type + "'";
+  return result;
+}
+
+}  // namespace mql
+}  // namespace mad

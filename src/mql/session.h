@@ -1,0 +1,95 @@
+#ifndef MAD_MQL_SESSION_H_
+#define MAD_MQL_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "molecule/molecule_type.h"
+#include "molecule/recursive.h"
+#include "mql/ast.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+namespace mql {
+
+/// The outcome of one executed MQL statement.
+struct QueryResult {
+  enum class Kind { kMolecules, kRecursive, kCommand };
+
+  Kind kind = Kind::kCommand;
+  /// SELECT over a molecule structure: the resulting molecule type.
+  std::shared_ptr<const MoleculeType> molecules;
+  /// SELECT over a recursive structure.
+  std::vector<RecursiveMolecule> recursive;
+  RecursiveDescription recursive_description;
+  /// With an expansion tail (`part-[composition*]-supplier`):
+  /// recursive_components[i] holds one component molecule per closure
+  /// member of recursive[i], described by expansion_description.
+  std::vector<std::vector<Molecule>> recursive_components;
+  std::optional<MoleculeDescription> expansion_description;
+  /// Human-readable command outcome ("atom type created", ...).
+  std::string message;
+  /// Rows/atoms/links affected by DDL/DML.
+  size_t affected = 0;
+};
+
+/// Execution tuning knobs.
+struct SessionOptions {
+  /// Push WHERE conjuncts decidable on root attributes alone below the
+  /// molecule derivation, so only qualifying roots are derived (the
+  /// query-optimization direction the paper's outlook sketches). Disable
+  /// for the ablation benchmarks.
+  bool enable_root_pushdown = true;
+};
+
+/// An MQL session: parses statements, translates them to the molecule
+/// algebra, and executes them against one Database. FROM clauses of the
+/// form `name(structure)` register `name` as a molecule type for later
+/// reuse (`SELECT ALL FROM name`), realising the dynamic object definition
+/// the paper emphasises — complex objects live in queries, not the schema.
+class Session {
+ public:
+  explicit Session(Database* db, SessionOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Parses and executes one statement.
+  Result<QueryResult> Execute(const std::string& text);
+
+  /// Parses and executes a ';'-separated script, stopping at the first
+  /// error.
+  Result<std::vector<QueryResult>> ExecuteScript(const std::string& text);
+
+  /// Executes an already-parsed statement.
+  Result<QueryResult> Run(Statement statement);
+
+  /// Registers a molecule-type description under a reusable name.
+  Status RegisterMoleculeType(const std::string& name,
+                              MoleculeDescription description);
+  bool HasRegisteredMoleculeType(const std::string& name) const {
+    return registry_.count(name) > 0;
+  }
+
+  Database& database() { return *db_; }
+
+ private:
+  Result<QueryResult> RunSelect(SelectStatement stmt);
+  Result<QueryResult> RunCreateAtomType(CreateAtomTypeStatement stmt);
+  Result<QueryResult> RunCreateLinkType(CreateLinkTypeStatement stmt);
+  Result<QueryResult> RunInsertAtom(InsertAtomStatement stmt);
+  Result<QueryResult> RunInsertLink(InsertLinkStatement stmt);
+  Result<QueryResult> RunDelete(DeleteStatement stmt);
+  Result<QueryResult> RunUpdate(UpdateStatement stmt);
+  Result<QueryResult> RunExplain(ExplainStatement stmt);
+
+  Database* db_;
+  SessionOptions options_;
+  std::map<std::string, MoleculeDescription> registry_;
+};
+
+}  // namespace mql
+}  // namespace mad
+
+#endif  // MAD_MQL_SESSION_H_

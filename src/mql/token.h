@@ -1,0 +1,76 @@
+#ifndef MAD_MQL_TOKEN_H_
+#define MAD_MQL_TOKEN_H_
+
+#include <string>
+
+namespace mad {
+namespace mql {
+
+/// Token kinds of the MQL lexer.
+enum class TokenKind {
+  kEnd,
+  kIdentifier,   // state, mt_state, ...
+  kString,       // 'pn' (with '' as the embedded-quote escape)
+  kInteger,      // 1000
+  kDouble,       // 3.5
+  kLinkRef,      // [state-area], [composition~], [composition*] — the text
+                 // between the brackets, verbatim
+  // Keywords (case-insensitive in the source).
+  kSelect,
+  kAll,
+  kFrom,
+  kWhere,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNull,
+  kCreate,
+  kAtom,
+  kLink,
+  kType,
+  kInsert,
+  kInto,
+  kValues,
+  kDelete,
+  kTo,
+  kUpdate,
+  kSet,
+  kExplain,
+  kCount,
+  kForAll,
+  // Symbols.
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kDot,
+  kDash,        // '-' structure connector / minus
+  kStar,
+  kSlash,
+  kPlus,
+  kEq,          // =
+  kNe,          // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+/// One lexed token with its source position (1-based column over the raw
+/// statement text; MQL statements are short, so no line tracking).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier spelling / string value / link-ref body
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;
+};
+
+}  // namespace mql
+}  // namespace mad
+
+#endif  // MAD_MQL_TOKEN_H_

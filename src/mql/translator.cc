@@ -1,0 +1,159 @@
+#include "mql/translator.h"
+
+#include <set>
+
+namespace mad {
+namespace mql {
+
+namespace {
+
+/// Finds the unique link type connecting `a` and `b` (either orientation).
+Result<std::string> InferLinkType(const Database& db, const std::string& a,
+                                  const std::string& b) {
+  std::vector<std::string> candidates;
+  for (const LinkType* lt : db.link_types()) {
+    bool forward = lt->first_atom_type() == a && lt->second_atom_type() == b;
+    bool backward = lt->first_atom_type() == b && lt->second_atom_type() == a;
+    if (forward || backward) candidates.push_back(lt->name());
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no link type connects '" + a + "' and '" + b +
+                            "'");
+  }
+  if (candidates.size() > 1) {
+    std::string names;
+    for (const std::string& c : candidates) {
+      if (!names.empty()) names += ", ";
+      names += c;
+    }
+    return Status::InvalidArgument("several link types connect '" + a +
+                                   "' and '" + b + "' (" + names +
+                                   "); name one with -[link]-");
+  }
+  return candidates[0];
+}
+
+Status Collect(const Database& db, const StructureNode& node,
+               std::vector<std::string>* atoms,
+               std::vector<DirectedLink>* links,
+               std::set<std::string>* seen) {
+  if (!seen->insert(node.atom).second) {
+    return Status::InvalidArgument(
+        "atom type '" + node.atom +
+        "' occurs twice in the molecule structure (Def. 5: C is a set)");
+  }
+  atoms->push_back(node.atom);
+  for (const StructureNode::Branch& branch : node.branches) {
+    if (branch.recursive) {
+      return Status::InvalidArgument(
+          "a recursive step must be the only step of the structure");
+    }
+    std::string link;
+    if (branch.link.has_value()) {
+      link = *branch.link;
+    } else {
+      MAD_ASSIGN_OR_RETURN(link,
+                           InferLinkType(db, node.atom, branch.child->atom));
+    }
+    links->push_back(
+        DirectedLink{link, node.atom, branch.child->atom, branch.reverse});
+    MAD_RETURN_IF_ERROR(Collect(db, *branch.child, atoms, links, seen));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TranslatedFrom> TranslateStructure(const Database& db,
+                                          const StructureNode& root) {
+  TranslatedFrom out;
+
+  // Recursive form: exactly one branch, flagged '*', no target node.
+  if (root.branches.size() == 1 && root.branches[0].recursive) {
+    const StructureNode::Branch& branch = root.branches[0];
+    if (!branch.link.has_value()) {
+      return Status::InvalidArgument(
+          "recursive steps need an explicit link name: atom-[link*]");
+    }
+    RecursiveDescription rd;
+    rd.atom_type = root.atom;
+    rd.link_type = *branch.link;
+    rd.direction =
+        branch.reverse ? LinkDirection::kBackward : LinkDirection::kForward;
+    rd.max_depth = branch.recursive_depth;
+    MAD_RETURN_IF_ERROR(ValidateRecursiveDescription(db, rd));
+    out.recursive = rd;
+    if (branch.child != nullptr) {
+      // Expansion tail: a plain structure applied to every closure member.
+      std::vector<std::string> atoms;
+      std::vector<DirectedLink> links;
+      std::set<std::string> seen;
+      MAD_RETURN_IF_ERROR(Collect(db, *branch.child, &atoms, &links, &seen));
+      MAD_ASSIGN_OR_RETURN(
+          MoleculeDescription expansion,
+          MoleculeDescription::CreateFromTypes(db, std::move(atoms),
+                                               std::move(links)));
+      out.recursive_expansion = std::move(expansion);
+    }
+    return out;
+  }
+
+  std::vector<std::string> atoms;
+  std::vector<DirectedLink> links;
+  std::set<std::string> seen;
+  MAD_RETURN_IF_ERROR(Collect(db, root, &atoms, &links, &seen));
+  MAD_ASSIGN_OR_RETURN(
+      MoleculeDescription md,
+      MoleculeDescription::CreateFromTypes(db, std::move(atoms),
+                                           std::move(links)));
+  out.description = std::move(md);
+  return out;
+}
+
+Result<MoleculeProjectionSpec> TranslateProjection(
+    const MoleculeDescription& md, const std::vector<ProjectionItem>& items) {
+  if (items.empty()) {
+    return Status::InvalidArgument("projection list must be non-empty");
+  }
+
+  std::set<std::string> keep;
+  std::map<std::string, std::vector<std::string>> narrowing;
+  std::set<std::string> whole_node;  // labels selected without narrowing
+
+  for (const ProjectionItem& item : items) {
+    MAD_ASSIGN_OR_RETURN(size_t idx, md.ResolveQualifier(item.label));
+    const std::string& label = md.nodes()[idx].label;
+    keep.insert(label);
+    if (item.attribute.has_value()) {
+      narrowing[label].push_back(*item.attribute);
+    } else {
+      whole_node.insert(label);
+    }
+  }
+  // A bare `label` wins over `label.attr` narrowing.
+  for (const std::string& label : whole_node) narrowing.erase(label);
+
+  // Close over ancestors so the projection stays root-preserving and
+  // coherent: a kept node pulls in the sources of its incoming links.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::string& label : std::set<std::string>(keep)) {
+      for (size_t link_idx : md.InLinksOf(label)) {
+        const std::string& parent = md.links()[link_idx].from;
+        if (keep.insert(parent).second) changed = true;
+      }
+    }
+  }
+
+  MoleculeProjectionSpec spec;
+  // Preserve description node order for determinism.
+  for (const MoleculeNode& node : md.nodes()) {
+    if (keep.count(node.label) > 0) spec.keep_labels.push_back(node.label);
+  }
+  spec.attributes = std::move(narrowing);
+  return spec;
+}
+
+}  // namespace mql
+}  // namespace mad

@@ -1,0 +1,46 @@
+#ifndef MAD_MQL_TRANSLATOR_H_
+#define MAD_MQL_TRANSLATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "molecule/description.h"
+#include "molecule/operations.h"
+#include "molecule/recursive.h"
+#include "mql/ast.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+namespace mql {
+
+/// The algebraic reading of a FROM structure — Ch. 4's point: MQL semantics
+/// are *defined* by translation into the molecule algebra. A structure
+/// translates either to a molecule-type description (the operand of the
+/// molecule-type-definition operator a) or, when its single step carries
+/// the '*' flag, to a recursive description (the Ch. 5 extension).
+struct TranslatedFrom {
+  std::optional<MoleculeDescription> description;
+  std::optional<RecursiveDescription> recursive;
+  /// Per-member expansion of a recursive step (`part-[composition*]-supplier`),
+  /// rooted at the recursion's atom type.
+  std::optional<MoleculeDescription> recursive_expansion;
+};
+
+/// Translates a parsed structure. Implicit '-' connectors resolve to the
+/// unique link type between the adjacent atom types (an error names the
+/// candidates when several exist); each atom type may occur once.
+Result<TranslatedFrom> TranslateStructure(const Database& db,
+                                          const StructureNode& root);
+
+/// Translates a SELECT list into a molecule-type projection Π spec: the
+/// selected labels plus every ancestor up to the root are kept (Π must
+/// stay root-preserving and coherent); `label.attr` items narrow a node's
+/// visible attributes, a bare `label` (or `label.*`) keeps them all.
+Result<MoleculeProjectionSpec> TranslateProjection(
+    const MoleculeDescription& md, const std::vector<ProjectionItem>& items);
+
+}  // namespace mql
+}  // namespace mad
+
+#endif  // MAD_MQL_TRANSLATOR_H_

@@ -1,0 +1,67 @@
+#include "relational/bridge.h"
+
+namespace mad {
+namespace rel {
+
+Result<Relation> AtomTypeToRelation(const Database& db,
+                                    const std::string& aname,
+                                    bool include_id) {
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(aname));
+  Schema schema;
+  if (include_id) {
+    MAD_RETURN_IF_ERROR(schema.AddAttribute("_id", DataType::kInt64));
+  }
+  for (const AttributeDescription& attr : at->description().attributes()) {
+    MAD_RETURN_IF_ERROR(schema.AddAttribute(attr.name, attr.type));
+  }
+  Relation out(std::move(schema));
+  for (const Atom& atom : at->occurrence().atoms()) {
+    std::vector<Value> tuple;
+    tuple.reserve(atom.values.size() + 1);
+    if (include_id) {
+      tuple.push_back(Value(static_cast<int64_t>(atom.id.value)));
+    }
+    tuple.insert(tuple.end(), atom.values.begin(), atom.values.end());
+    MAD_RETURN_IF_ERROR(out.Insert(std::move(tuple)).status());
+  }
+  return out;
+}
+
+Result<RelationalDatabase> TransformToRelational(const Database& db,
+                                                 TransformStats* stats) {
+  RelationalDatabase out(db.name() + "_rel");
+  TransformStats local;
+
+  for (const AtomType* at : db.atom_types()) {
+    MAD_ASSIGN_OR_RETURN(Relation r, AtomTypeToRelation(db, at->name(), true));
+    MAD_RETURN_IF_ERROR(out.Define(at->name(), r.schema()));
+    Relation* dest = *out.GetMutable(at->name());
+    for (const auto& tuple : r.tuples()) {
+      MAD_RETURN_IF_ERROR(dest->Insert(tuple).status());
+      ++local.tuples;
+    }
+    ++local.entity_relations;
+  }
+
+  for (const LinkType* lt : db.link_types()) {
+    Schema schema;
+    MAD_RETURN_IF_ERROR(schema.AddAttribute("_from", DataType::kInt64));
+    MAD_RETURN_IF_ERROR(schema.AddAttribute("_to", DataType::kInt64));
+    MAD_RETURN_IF_ERROR(out.Define(lt->name(), std::move(schema)));
+    Relation* dest = *out.GetMutable(lt->name());
+    for (const Link& link : lt->occurrence().links()) {
+      MAD_RETURN_IF_ERROR(
+          dest->Insert({Value(static_cast<int64_t>(link.first.value)),
+                        Value(static_cast<int64_t>(link.second.value))})
+              .status());
+      ++local.tuples;
+    }
+    ++local.auxiliary_relations;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace rel
+}  // namespace mad

@@ -1,0 +1,42 @@
+#ifndef MAD_RELATIONAL_BRIDGE_H_
+#define MAD_RELATIONAL_BRIDGE_H_
+
+#include <string>
+
+#include "relational/relation.h"
+#include "storage/database.h"
+
+namespace mad {
+namespace rel {
+
+/// Statistics of a MAD → relational transformation; the auxiliary-relation
+/// count quantifies the Ch. 2 observation that "all n:m relationship types
+/// have to be modeled by some auxiliary relations".
+struct TransformStats {
+  size_t entity_relations = 0;
+  size_t auxiliary_relations = 0;
+  size_t tuples = 0;
+};
+
+/// Transforms a MAD database into the equivalent relational database:
+///
+///   * every atom type becomes a relation `{_id: INT64} ∪ attributes`
+///     (the surrogate key stands in for atom identity);
+///   * every link type becomes an auxiliary relation
+///     `{_from: INT64, _to: INT64}` under the link type's name (links are
+///     treated uniformly as n:m — the general case).
+///
+/// The reverse direction of Fig. 3's concept table.
+Result<RelationalDatabase> TransformToRelational(const Database& db,
+                                                 TransformStats* stats = nullptr);
+
+/// Converts one atom type to a relation. With `include_id` the surrogate
+/// `_id` column is kept; without it, the conversion is the pure Fig. 3
+/// degeneration (atoms project onto value tuples, duplicates collapse).
+Result<Relation> AtomTypeToRelation(const Database& db,
+                                    const std::string& aname, bool include_id);
+
+}  // namespace rel
+}  // namespace mad
+
+#endif  // MAD_RELATIONAL_BRIDGE_H_

@@ -1,0 +1,255 @@
+#include "relational/nf2_algebra.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace mad {
+namespace nf2 {
+
+namespace {
+
+/// Order-insensitive fingerprint of a field / tuple / relation, used for
+/// grouping and set comparison.
+std::string Fingerprint(const Nf2Value& value);
+
+std::string Fingerprint(const NestedRelation& r) {
+  std::vector<std::string> rows;
+  rows.reserve(r.tuples().size());
+  for (const auto& tuple : r.tuples()) {
+    std::string row = "(";
+    for (const Nf2Value& field : tuple) {
+      row += Fingerprint(field);
+      row += '\x1f';
+    }
+    row += ")";
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out = "{";
+  for (const std::string& row : rows) out += row;
+  out += "}";
+  return out;
+}
+
+std::string Fingerprint(const Nf2Value& value) {
+  if (value.nested == nullptr) return value.atomic.ToString();
+  return Fingerprint(*value.nested);
+}
+
+Result<size_t> AttributeIndexOf(const Nf2Schema& schema,
+                                const std::string& name) {
+  for (size_t i = 0; i < schema.attributes().size(); ++i) {
+    if (schema.attributes()[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute '" + name + "' in NF2 schema " +
+                          schema.ToString());
+}
+
+}  // namespace
+
+Result<NestedRelation> Nest(const NestedRelation& r,
+                            const std::vector<std::string>& nest_attrs,
+                            const std::string& as) {
+  if (nest_attrs.empty()) {
+    return Status::InvalidArgument("nest needs at least one attribute");
+  }
+  std::set<size_t> nested_idx;
+  for (const std::string& name : nest_attrs) {
+    MAD_ASSIGN_OR_RETURN(size_t idx, AttributeIndexOf(r.schema(), name));
+    if (!nested_idx.insert(idx).second) {
+      return Status::InvalidArgument("nest repeats attribute '" + name + "'");
+    }
+  }
+  if (nested_idx.size() == r.schema().attributes().size()) {
+    return Status::InvalidArgument("nest must leave grouping attributes");
+  }
+  for (const Nf2Attribute& attr : r.schema().attributes()) {
+    if (attr.name == as) {
+      return Status::AlreadyExists("attribute '" + as + "' already exists");
+    }
+  }
+
+  // Result schema: kept attributes in order, then the new nested one.
+  auto inner_schema = std::make_shared<Nf2Schema>();
+  auto outer_schema = std::make_shared<Nf2Schema>();
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < r.schema().attributes().size(); ++i) {
+    const Nf2Attribute& attr = r.schema().attributes()[i];
+    auto* target = nested_idx.count(i) > 0 ? inner_schema.get()
+                                           : outer_schema.get();
+    if (attr.atomic()) {
+      target->AddAtomic(attr.name, attr.type);
+    } else {
+      target->AddNested(attr.name, attr.nested);
+    }
+    if (nested_idx.count(i) == 0) kept.push_back(i);
+  }
+  outer_schema->AddNested(as, inner_schema);
+
+  // Group by the kept attributes.
+  NestedRelation out(outer_schema);
+  std::map<std::string, size_t> group_of;  // key -> tuple index in out
+  std::vector<std::shared_ptr<NestedRelation>> groups;
+  std::vector<std::vector<Nf2Value>> result_tuples;
+  for (const auto& tuple : r.tuples()) {
+    std::string key;
+    for (size_t i : kept) {
+      key += Fingerprint(tuple[i]);
+      key += '\x1f';
+    }
+    auto it = group_of.find(key);
+    size_t group_idx;
+    if (it == group_of.end()) {
+      group_idx = result_tuples.size();
+      group_of[key] = group_idx;
+      std::vector<Nf2Value> outer;
+      for (size_t i : kept) outer.push_back(tuple[i]);
+      groups.push_back(std::make_shared<NestedRelation>(inner_schema));
+      outer.push_back(Nf2Value{Value(), groups.back()});
+      result_tuples.push_back(std::move(outer));
+    } else {
+      group_idx = it->second;
+    }
+    std::vector<Nf2Value> inner;
+    for (size_t i : nested_idx) inner.push_back(tuple[i]);
+    groups[group_idx]->AddTuple(std::move(inner));
+  }
+  for (auto& tuple : result_tuples) out.AddTuple(std::move(tuple));
+  return out;
+}
+
+Result<NestedRelation> Unnest(const NestedRelation& r,
+                              const std::string& attr) {
+  MAD_ASSIGN_OR_RETURN(size_t idx, AttributeIndexOf(r.schema(), attr));
+  const Nf2Attribute& target = r.schema().attributes()[idx];
+  if (target.atomic()) {
+    return Status::InvalidArgument("attribute '" + attr +
+                                   "' is not relation-valued");
+  }
+
+  auto out_schema = std::make_shared<Nf2Schema>();
+  for (size_t i = 0; i < r.schema().attributes().size(); ++i) {
+    if (i == idx) continue;
+    const Nf2Attribute& a = r.schema().attributes()[i];
+    if (a.atomic()) {
+      out_schema->AddAtomic(a.name, a.type);
+    } else {
+      out_schema->AddNested(a.name, a.nested);
+    }
+  }
+  for (const Nf2Attribute& a : target.nested->attributes()) {
+    if (a.atomic()) {
+      out_schema->AddAtomic(a.name, a.type);
+    } else {
+      out_schema->AddNested(a.name, a.nested);
+    }
+  }
+
+  NestedRelation out(out_schema);
+  for (const auto& tuple : r.tuples()) {
+    const NestedRelation& inner = *tuple[idx].nested;
+    for (const auto& inner_tuple : inner.tuples()) {
+      std::vector<Nf2Value> flat;
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (i != idx) flat.push_back(tuple[i]);
+      }
+      flat.insert(flat.end(), inner_tuple.begin(), inner_tuple.end());
+      out.AddTuple(std::move(flat));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status FlattenSchema(const Nf2Schema& schema, const std::string& prefix,
+                     Schema* out) {
+  for (const Nf2Attribute& attr : schema.attributes()) {
+    std::string name = prefix.empty() ? attr.name : prefix + "." + attr.name;
+    if (attr.atomic()) {
+      MAD_RETURN_IF_ERROR(out->AddAttribute(name, attr.type));
+    } else {
+      MAD_RETURN_IF_ERROR(FlattenSchema(*attr.nested, name, out));
+    }
+  }
+  return Status::OK();
+}
+
+Status FlattenTuple(const Nf2Schema& schema,
+                    const std::vector<Nf2Value>& tuple,
+                    std::vector<Value> prefix_values, rel::Relation* out) {
+  // Depth-first expansion: find the first nested attribute; atomic fields
+  // before it are appended, then every inner tuple recurses.
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Nf2Attribute& attr = schema.attributes()[i];
+    if (attr.atomic()) {
+      prefix_values.push_back(tuple[i].atomic);
+      continue;
+    }
+    // Cross-product with the remaining fields handled by recursion: build
+    // the tail tuple view (remaining fields after this one).
+    for (const auto& inner_tuple : tuple[i].nested->tuples()) {
+      // Merge inner tuple then the remaining outer fields into a synthetic
+      // continuation.
+      std::vector<Nf2Value> continuation = inner_tuple;
+      continuation.insert(continuation.end(), tuple.begin() + i + 1,
+                          tuple.end());
+      // Matching synthetic schema: inner attributes then remaining outer.
+      Nf2Schema synthetic;
+      for (const Nf2Attribute& a : attr.nested->attributes()) {
+        if (a.atomic()) {
+          synthetic.AddAtomic(a.name, a.type);
+        } else {
+          synthetic.AddNested(a.name, a.nested);
+        }
+      }
+      for (size_t j = i + 1; j < schema.attributes().size(); ++j) {
+        const Nf2Attribute& a = schema.attributes()[j];
+        if (a.atomic()) {
+          synthetic.AddAtomic(a.name, a.type);
+        } else {
+          synthetic.AddNested(a.name, a.nested);
+        }
+      }
+      MAD_RETURN_IF_ERROR(
+          FlattenTuple(synthetic, continuation, prefix_values, out));
+    }
+    return Status::OK();  // recursion handled the tail
+  }
+  return out->Insert(std::move(prefix_values)).status();
+}
+
+}  // namespace
+
+Result<rel::Relation> Flatten(const NestedRelation& r) {
+  Schema flat_schema;
+  MAD_RETURN_IF_ERROR(FlattenSchema(r.schema(), "", &flat_schema));
+  rel::Relation out(std::move(flat_schema));
+  for (const auto& tuple : r.tuples()) {
+    MAD_RETURN_IF_ERROR(FlattenTuple(r.schema(), tuple, {}, &out));
+  }
+  return out;
+}
+
+Result<NestedRelation> FromRelation(const rel::Relation& r) {
+  auto schema = std::make_shared<Nf2Schema>();
+  for (const AttributeDescription& attr : r.schema().attributes()) {
+    schema->AddAtomic(attr.name, attr.type);
+  }
+  NestedRelation out(schema);
+  for (const auto& tuple : r.tuples()) {
+    std::vector<Nf2Value> fields;
+    fields.reserve(tuple.size());
+    for (const Value& v : tuple) fields.push_back(Nf2Value{v, nullptr});
+    out.AddTuple(std::move(fields));
+  }
+  return out;
+}
+
+bool Nf2Equal(const NestedRelation& a, const NestedRelation& b) {
+  return Fingerprint(a) == Fingerprint(b);
+}
+
+}  // namespace nf2
+}  // namespace mad

@@ -1,0 +1,43 @@
+#ifndef MAD_RELATIONAL_NF2_ALGEBRA_H_
+#define MAD_RELATIONAL_NF2_ALGEBRA_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/nf2.h"
+#include "relational/relation.h"
+
+namespace mad {
+namespace nf2 {
+
+/// The characteristic NF² operations of [SS86] — the algebra the molecule
+/// algebra extends (Ch. 5): nest folds a group of attributes into a
+/// relation-valued attribute, unnest unfolds one level, flatten unfolds all
+/// levels back into a 1NF relation.
+
+/// ν: groups tuples by the attributes *not* in `nest_attrs`; each group's
+/// `nest_attrs` projections become one nested relation stored under `as`.
+Result<NestedRelation> Nest(const NestedRelation& r,
+                            const std::vector<std::string>& nest_attrs,
+                            const std::string& as);
+
+/// μ: unfolds the relation-valued attribute `attr` one level; tuples whose
+/// nested relation is empty disappear (classical unnest semantics).
+Result<NestedRelation> Unnest(const NestedRelation& r, const std::string& attr);
+
+/// Full flattening into a first-normal-form relation. Nested attribute
+/// names are prefixed with their path ("area.edge.name"); tuples vanish
+/// wherever any nesting level is empty.
+Result<rel::Relation> Flatten(const NestedRelation& r);
+
+/// Lifts a flat relation into a (trivially flat) nested relation so nest
+/// can be applied to classical relations.
+Result<NestedRelation> FromRelation(const rel::Relation& r);
+
+/// Set equality of nested relations (order-insensitive at every level).
+bool Nf2Equal(const NestedRelation& a, const NestedRelation& b);
+
+}  // namespace nf2
+}  // namespace mad
+
+#endif  // MAD_RELATIONAL_NF2_ALGEBRA_H_

@@ -1,0 +1,205 @@
+#include "relational/rel_algebra.h"
+
+#include <unordered_map>
+
+#include "expr/eval.h"
+
+namespace mad {
+namespace rel {
+
+namespace {
+
+/// Wraps a tuple as a transient Atom so the shared expression evaluator
+/// applies; the id is a dummy.
+Result<bool> TupleMatches(const expr::Expr& predicate, const Schema& schema,
+                          const std::vector<Value>& tuple) {
+  Atom atom{AtomId{1}, tuple};
+  return expr::EvalOnAtom(predicate, "", schema, atom);
+}
+
+std::string HashKey(const Value& v) { return v.ToString(); }
+
+}  // namespace
+
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& attributes) {
+  MAD_ASSIGN_OR_RETURN(Schema projected, r.schema().Project(attributes));
+  std::vector<size_t> indexes;
+  for (const std::string& name : attributes) {
+    MAD_ASSIGN_OR_RETURN(size_t idx, r.schema().IndexOf(name));
+    indexes.push_back(idx);
+  }
+  Relation out(std::move(projected));
+  for (const auto& tuple : r.tuples()) {
+    std::vector<Value> values;
+    values.reserve(indexes.size());
+    for (size_t idx : indexes) values.push_back(tuple[idx]);
+    MAD_RETURN_IF_ERROR(out.Insert(std::move(values)).status());
+  }
+  return out;
+}
+
+Result<Relation> Restrict(const Relation& r, const expr::ExprPtr& predicate) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("restriction predicate must be non-null");
+  }
+  MAD_RETURN_IF_ERROR(expr::ValidateAgainstSchema(*predicate, "", r.schema()));
+  Relation out(r.schema());
+  for (const auto& tuple : r.tuples()) {
+    MAD_ASSIGN_OR_RETURN(bool keep, TupleMatches(*predicate, r.schema(), tuple));
+    if (keep) MAD_RETURN_IF_ERROR(out.Insert(tuple).status());
+  }
+  return out;
+}
+
+Result<Relation> CartesianProduct(const Relation& left, const Relation& right) {
+  MAD_ASSIGN_OR_RETURN(Schema combined,
+                       left.schema().ConcatDisjoint(right.schema()));
+  Relation out(std::move(combined));
+  for (const auto& l : left.tuples()) {
+    for (const auto& r : right.tuples()) {
+      std::vector<Value> values = l;
+      values.insert(values.end(), r.begin(), r.end());
+      MAD_RETURN_IF_ERROR(out.Insert(std::move(values)).status());
+    }
+  }
+  return out;
+}
+
+namespace {
+Status CheckSameSchema(const Relation& left, const Relation& right) {
+  if (left.schema() != right.schema()) {
+    return Status::InvalidArgument(
+        "set operation requires identical schemas: " +
+        left.schema().ToString() + " vs " + right.schema().ToString());
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<Relation> Union(const Relation& left, const Relation& right) {
+  MAD_RETURN_IF_ERROR(CheckSameSchema(left, right));
+  Relation out(left.schema());
+  for (const auto& t : left.tuples()) MAD_RETURN_IF_ERROR(out.Insert(t).status());
+  for (const auto& t : right.tuples()) MAD_RETURN_IF_ERROR(out.Insert(t).status());
+  return out;
+}
+
+Result<Relation> Difference(const Relation& left, const Relation& right) {
+  MAD_RETURN_IF_ERROR(CheckSameSchema(left, right));
+  Relation out(left.schema());
+  for (const auto& t : left.tuples()) {
+    if (!right.Contains(t)) MAD_RETURN_IF_ERROR(out.Insert(t).status());
+  }
+  return out;
+}
+
+Result<Relation> Intersection(const Relation& left, const Relation& right) {
+  MAD_RETURN_IF_ERROR(CheckSameSchema(left, right));
+  Relation out(left.schema());
+  for (const auto& t : left.tuples()) {
+    if (right.Contains(t)) MAD_RETURN_IF_ERROR(out.Insert(t).status());
+  }
+  return out;
+}
+
+Result<Relation> Rename(
+    const Relation& r,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  Schema renamed = r.schema();
+  for (const auto& [from, to] : renames) {
+    MAD_RETURN_IF_ERROR(renamed.RenameAttribute(from, to));
+  }
+  Relation out(std::move(renamed));
+  for (const auto& t : r.tuples()) MAD_RETURN_IF_ERROR(out.Insert(t).status());
+  return out;
+}
+
+Result<Relation> EquiJoin(const Relation& left, const std::string& left_attr,
+                          const Relation& right,
+                          const std::string& right_attr) {
+  MAD_ASSIGN_OR_RETURN(size_t li, left.schema().IndexOf(left_attr));
+  MAD_ASSIGN_OR_RETURN(size_t ri, right.schema().IndexOf(right_attr));
+  MAD_ASSIGN_OR_RETURN(Schema combined,
+                       left.schema().ConcatDisjoint(right.schema()));
+
+  // Hash build on the smaller side for a fair relational baseline.
+  bool build_right = right.size() <= left.size();
+  const Relation& build = build_right ? right : left;
+  size_t build_idx = build_right ? ri : li;
+  const Relation& probe = build_right ? left : right;
+  size_t probe_idx = build_right ? li : ri;
+
+  std::unordered_map<std::string, std::vector<const std::vector<Value>*>> table;
+  table.reserve(build.size());
+  for (const auto& t : build.tuples()) {
+    table[HashKey(t[build_idx])].push_back(&t);
+  }
+
+  Relation out(std::move(combined));
+  for (const auto& p : probe.tuples()) {
+    auto it = table.find(HashKey(p[probe_idx]));
+    if (it == table.end()) continue;
+    for (const std::vector<Value>* b : it->second) {
+      const std::vector<Value>& l = build_right ? p : *b;
+      const std::vector<Value>& r = build_right ? *b : p;
+      std::vector<Value> values = l;
+      values.insert(values.end(), r.begin(), r.end());
+      MAD_RETURN_IF_ERROR(out.Insert(std::move(values)).status());
+    }
+  }
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& left, const Relation& right) {
+  // Attributes shared by name (and type).
+  std::vector<std::pair<size_t, size_t>> common;
+  for (size_t i = 0; i < left.schema().attribute_count(); ++i) {
+    const AttributeDescription& attr = left.schema().attribute(i);
+    if (!right.schema().HasAttribute(attr.name)) continue;
+    MAD_ASSIGN_OR_RETURN(size_t j, right.schema().IndexOf(attr.name));
+    if (right.schema().attribute(j).type != attr.type) {
+      return Status::InvalidArgument("natural join attribute '" + attr.name +
+                                     "' has mismatched types");
+    }
+    common.emplace_back(i, j);
+  }
+  if (common.empty()) return CartesianProduct(left, right);
+
+  // Result schema: left attributes + right attributes not in common.
+  Schema combined = left.schema();
+  std::vector<size_t> right_keep;
+  for (size_t j = 0; j < right.schema().attribute_count(); ++j) {
+    const AttributeDescription& attr = right.schema().attribute(j);
+    if (left.schema().HasAttribute(attr.name)) continue;
+    MAD_RETURN_IF_ERROR(combined.AddAttribute(attr.name, attr.type));
+    right_keep.push_back(j);
+  }
+
+  auto join_key = [&](const std::vector<Value>& tuple, bool is_left) {
+    std::string key;
+    for (const auto& [i, j] : common) {
+      key += HashKey(tuple[is_left ? i : j]);
+      key += '\x1f';
+    }
+    return key;
+  };
+
+  std::unordered_map<std::string, std::vector<const std::vector<Value>*>> table;
+  for (const auto& t : right.tuples()) table[join_key(t, false)].push_back(&t);
+
+  Relation out(std::move(combined));
+  for (const auto& l : left.tuples()) {
+    auto it = table.find(join_key(l, true));
+    if (it == table.end()) continue;
+    for (const std::vector<Value>* r : it->second) {
+      std::vector<Value> values = l;
+      for (size_t j : right_keep) values.push_back((*r)[j]);
+      MAD_RETURN_IF_ERROR(out.Insert(std::move(values)).status());
+    }
+  }
+  return out;
+}
+
+}  // namespace rel
+}  // namespace mad

@@ -1,0 +1,52 @@
+#ifndef MAD_RELATIONAL_REL_ALGEBRA_H_
+#define MAD_RELATIONAL_REL_ALGEBRA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+#include "relational/relation.h"
+
+namespace mad {
+namespace rel {
+
+/// The classical relational algebra [Ul80] over set-semantics relations —
+/// the baseline the molecule algebra extends (Fig. 3) and the comparator
+/// for the Ch. 2 n:m traversal benchmark.
+
+/// π: projection with duplicate elimination.
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& attributes);
+
+/// σ: restriction by a predicate over the relation's attributes.
+Result<Relation> Restrict(const Relation& r, const expr::ExprPtr& predicate);
+
+/// ×: cartesian product; attribute names must be disjoint.
+Result<Relation> CartesianProduct(const Relation& left, const Relation& right);
+
+/// ∪, −, ∩ with identical-schema preconditions.
+Result<Relation> Union(const Relation& left, const Relation& right);
+Result<Relation> Difference(const Relation& left, const Relation& right);
+Result<Relation> Intersection(const Relation& left, const Relation& right);
+
+/// Attribute renaming ρ.
+Result<Relation> Rename(
+    const Relation& r,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+/// Hash-based equi-join on left.left_attr = right.right_attr. The result
+/// schema is the concatenation (names must be disjoint after the join
+/// columns are considered; rename first on collision). This is the derived
+/// operator that makes the auxiliary-relation traversal of Ch. 2
+/// expressible at its best (a fair baseline for the benchmark).
+Result<Relation> EquiJoin(const Relation& left, const std::string& left_attr,
+                          const Relation& right, const std::string& right_attr);
+
+/// Natural join over the attributes common to both schemas.
+Result<Relation> NaturalJoin(const Relation& left, const Relation& right);
+
+}  // namespace rel
+}  // namespace mad
+
+#endif  // MAD_RELATIONAL_REL_ALGEBRA_H_

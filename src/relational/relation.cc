@@ -1,0 +1,77 @@
+#include "relational/relation.h"
+
+namespace mad {
+namespace rel {
+
+std::string Relation::Fingerprint(const std::vector<Value>& tuple) {
+  std::string key;
+  for (const Value& v : tuple) {
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+Result<bool> Relation::Insert(std::vector<Value> tuple) {
+  MAD_RETURN_IF_ERROR(schema_.ValidateRow(tuple));
+  if (!present_.insert(Fingerprint(tuple)).second) return false;
+  tuples_.push_back(std::move(tuple));
+  return true;
+}
+
+bool Relation::Contains(const std::vector<Value>& tuple) const {
+  return present_.count(Fingerprint(tuple)) > 0;
+}
+
+bool Relation::operator==(const Relation& other) const {
+  if (schema_ != other.schema_ || tuples_.size() != other.tuples_.size()) {
+    return false;
+  }
+  for (const auto& tuple : tuples_) {
+    if (!other.Contains(tuple)) return false;
+  }
+  return true;
+}
+
+Status RelationalDatabase::Define(const std::string& rname, Schema schema) {
+  if (rname.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (index_.count(rname) > 0) {
+    return Status::AlreadyExists("relation '" + rname + "' already defined");
+  }
+  index_.emplace(rname, Relation(std::move(schema)));
+  order_.push_back(rname);
+  return Status::OK();
+}
+
+Status RelationalDatabase::Insert(const std::string& rname,
+                                  std::vector<Value> tuple) {
+  MAD_ASSIGN_OR_RETURN(Relation * r, GetMutable(rname));
+  return r->Insert(std::move(tuple)).status();
+}
+
+Result<const Relation*> RelationalDatabase::Get(const std::string& rname) const {
+  auto it = index_.find(rname);
+  if (it == index_.end()) {
+    return Status::NotFound("relation '" + rname + "' not defined");
+  }
+  return &it->second;
+}
+
+Result<Relation*> RelationalDatabase::GetMutable(const std::string& rname) {
+  auto it = index_.find(rname);
+  if (it == index_.end()) {
+    return Status::NotFound("relation '" + rname + "' not defined");
+  }
+  return &it->second;
+}
+
+size_t RelationalDatabase::total_tuple_count() const {
+  size_t n = 0;
+  for (const auto& [name, relation] : index_) n += relation.size();
+  return n;
+}
+
+}  // namespace rel
+}  // namespace mad

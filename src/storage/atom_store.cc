@@ -1,0 +1,38 @@
+#include "storage/atom_store.h"
+
+namespace mad {
+
+Status AtomStore::Insert(Atom atom) {
+  if (!atom.id.valid()) {
+    return Status::InvalidArgument("atom id must be valid");
+  }
+  if (by_id_.count(atom.id) > 0) {
+    return Status::AlreadyExists("atom #" + std::to_string(atom.id.value) +
+                                 " already present");
+  }
+  by_id_[atom.id] = atoms_.size();
+  atoms_.push_back(std::move(atom));
+  return Status::OK();
+}
+
+Status AtomStore::Erase(AtomId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("atom #" + std::to_string(id.value) +
+                            " not present");
+  }
+  size_t pos = it->second;
+  by_id_.erase(it);
+  atoms_.erase(atoms_.begin() + static_cast<ptrdiff_t>(pos));
+  // Reindex the tail to keep insertion order stable.
+  for (size_t i = pos; i < atoms_.size(); ++i) by_id_[atoms_[i].id] = i;
+  return Status::OK();
+}
+
+const Atom* AtomStore::Find(AtomId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return nullptr;
+  return &atoms_[it->second];
+}
+
+}  // namespace mad

@@ -1,0 +1,43 @@
+#ifndef MAD_STORAGE_ATOM_STORE_H_
+#define MAD_STORAGE_ATOM_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/schema.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// An atom-type occurrence (Def. 1): the set of atoms of one atom type,
+/// stored in insertion order with O(1) lookup by id.
+class AtomStore {
+ public:
+  /// Inserts an atom; fails if the id is invalid or already present.
+  Status Insert(Atom atom);
+
+  /// Removes an atom; fails if absent. Iteration order of the remaining
+  /// atoms is preserved.
+  Status Erase(AtomId id);
+
+  bool Contains(AtomId id) const { return by_id_.count(id) > 0; }
+
+  /// Pointer into the store, or nullptr if absent. Invalidated by mutation.
+  const Atom* Find(AtomId id) const;
+
+  size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  /// Atoms in insertion order.
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+ private:
+  std::vector<Atom> atoms_;
+  std::unordered_map<AtomId, size_t> by_id_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_STORAGE_ATOM_STORE_H_

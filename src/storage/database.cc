@@ -1,0 +1,421 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+namespace mad {
+
+Status Database::DefineAtomType(const std::string& aname, Schema description) {
+  if (aname.empty()) {
+    return Status::InvalidArgument("atom type name must be non-empty");
+  }
+  if (atom_types_.count(aname) > 0) {
+    return Status::AlreadyExists("atom type '" + aname + "' already defined");
+  }
+  atom_types_[aname] = std::make_unique<AtomType>(aname, std::move(description));
+  atom_type_order_.push_back(aname);
+  return Status::OK();
+}
+
+Status Database::DefineLinkType(const std::string& lname,
+                                const std::string& first,
+                                const std::string& second,
+                                LinkCardinality cardinality) {
+  if (lname.empty()) {
+    return Status::InvalidArgument("link type name must be non-empty");
+  }
+  if (link_types_.count(lname) > 0) {
+    return Status::AlreadyExists("link type '" + lname + "' already defined");
+  }
+  if (atom_types_.count(first) == 0) {
+    return Status::NotFound("link type '" + lname +
+                            "' references unknown atom type '" + first + "'");
+  }
+  if (atom_types_.count(second) == 0) {
+    return Status::NotFound("link type '" + lname +
+                            "' references unknown atom type '" + second + "'");
+  }
+  link_types_[lname] =
+      std::make_unique<LinkType>(lname, first, second, cardinality);
+  link_type_order_.push_back(lname);
+  return Status::OK();
+}
+
+Status Database::DropAtomType(const std::string& aname) {
+  if (atom_types_.count(aname) == 0) {
+    return Status::NotFound("atom type '" + aname + "' not defined");
+  }
+  // Link types may not dangle: drop every link type touching this atom type.
+  std::vector<std::string> doomed;
+  for (const auto& [lname, lt] : link_types_) {
+    if (lt->Touches(aname)) doomed.push_back(lname);
+  }
+  for (const std::string& lname : doomed) {
+    MAD_RETURN_IF_ERROR(DropLinkType(lname));
+  }
+  atom_types_.erase(aname);
+  atom_type_order_.erase(
+      std::find(atom_type_order_.begin(), atom_type_order_.end(), aname));
+  indexes_.erase(aname);
+  return Status::OK();
+}
+
+Status Database::DropLinkType(const std::string& lname) {
+  if (link_types_.count(lname) == 0) {
+    return Status::NotFound("link type '" + lname + "' not defined");
+  }
+  link_types_.erase(lname);
+  link_type_order_.erase(
+      std::find(link_type_order_.begin(), link_type_order_.end(), lname));
+  return Status::OK();
+}
+
+Result<AtomId> Database::InsertAtom(const std::string& aname,
+                                    std::vector<Value> values) {
+  AtomId id = NewAtomId();
+  MAD_RETURN_IF_ERROR(InsertAtomWithId(aname, id, std::move(values)));
+  return id;
+}
+
+Status Database::InsertAtomWithId(const std::string& aname, AtomId id,
+                                  std::vector<Value> values) {
+  MAD_ASSIGN_OR_RETURN(AtomType * at, GetMutableAtomType(aname));
+  MAD_RETURN_IF_ERROR(at->description().ValidateRow(values));
+  // Keep the id counter ahead of any caller-chosen id so fresh ids never
+  // collide with identities preserved from other atom types.
+  last_atom_id_ = std::max(last_atom_id_, id.value);
+  Atom atom{id, std::move(values)};
+  MAD_RETURN_IF_ERROR(at->mutable_occurrence().Insert(atom));
+  IndexInsert(aname, atom);
+  return Status::OK();
+}
+
+Status Database::UpdateAtom(const std::string& aname, AtomId id,
+                            std::vector<Value> values) {
+  MAD_ASSIGN_OR_RETURN(AtomType * at, GetMutableAtomType(aname));
+  MAD_RETURN_IF_ERROR(at->description().ValidateRow(values));
+  const Atom* existing = at->occurrence().Find(id);
+  if (existing == nullptr) {
+    return Status::NotFound("atom #" + std::to_string(id.value) +
+                            " not in atom type '" + aname + "'");
+  }
+  IndexErase(aname, *existing);
+  MAD_RETURN_IF_ERROR(at->mutable_occurrence().Erase(id));
+  Atom atom{id, std::move(values)};
+  MAD_RETURN_IF_ERROR(at->mutable_occurrence().Insert(atom));
+  IndexInsert(aname, atom);
+  return Status::OK();
+}
+
+Status Database::DeleteAtom(const std::string& aname, AtomId id) {
+  MAD_ASSIGN_OR_RETURN(AtomType * at, GetMutableAtomType(aname));
+  if (const Atom* atom = at->occurrence().Find(id); atom != nullptr) {
+    IndexErase(aname, *atom);
+  }
+  MAD_RETURN_IF_ERROR(at->mutable_occurrence().Erase(id));
+  // Referential integrity: remove every link attached to the deleted atom
+  // through a link type touching this atom type.
+  for (const auto& lname : link_type_order_) {
+    LinkType* lt = link_types_[lname].get();
+    if (!lt->Touches(aname)) continue;
+    std::vector<Link> doomed;
+    for (const Link& link : lt->occurrence().links()) {
+      bool hit = (lt->first_atom_type() == aname && link.first == id) ||
+                 (lt->second_atom_type() == aname && link.second == id);
+      if (hit) doomed.push_back(link);
+    }
+    for (const Link& link : doomed) {
+      MAD_RETURN_IF_ERROR(
+          lt->mutable_occurrence().Erase(link.first, link.second));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::InsertLink(const std::string& lname, AtomId first,
+                            AtomId second) {
+  MAD_ASSIGN_OR_RETURN(LinkType * lt, GetMutableLinkType(lname));
+  MAD_ASSIGN_OR_RETURN(const AtomType* at1, GetAtomType(lt->first_atom_type()));
+  MAD_ASSIGN_OR_RETURN(const AtomType* at2,
+                       GetAtomType(lt->second_atom_type()));
+  if (!at1->occurrence().Contains(first)) {
+    return Status::ConstraintViolation(
+        "link '" + lname + "': atom #" + std::to_string(first.value) +
+        " is not in atom type '" + lt->first_atom_type() + "'");
+  }
+  if (!at2->occurrence().Contains(second)) {
+    return Status::ConstraintViolation(
+        "link '" + lname + "': atom #" + std::to_string(second.value) +
+        " is not in atom type '" + lt->second_atom_type() + "'");
+  }
+  // Cardinality restriction of the extended link-type definition.
+  LinkCardinality cardinality = lt->cardinality();
+  bool first_bounded = cardinality == LinkCardinality::kOneToOne ||
+                       cardinality == LinkCardinality::kManyToOne;
+  bool second_bounded = cardinality == LinkCardinality::kOneToOne ||
+                        cardinality == LinkCardinality::kOneToMany;
+  if (first_bounded &&
+      !lt->occurrence().Partners(first, LinkDirection::kForward).empty()) {
+    return Status::ConstraintViolation(
+        "link '" + lname + "' (" + LinkCardinalityName(cardinality) +
+        "): atom #" + std::to_string(first.value) +
+        " already has a partner");
+  }
+  if (second_bounded &&
+      !lt->occurrence().Partners(second, LinkDirection::kBackward).empty()) {
+    return Status::ConstraintViolation(
+        "link '" + lname + "' (" + LinkCardinalityName(cardinality) +
+        "): atom #" + std::to_string(second.value) +
+        " already has a partner");
+  }
+  return lt->mutable_occurrence().Insert(first, second);
+}
+
+Status Database::EraseLink(const std::string& lname, AtomId first,
+                           AtomId second) {
+  MAD_ASSIGN_OR_RETURN(LinkType * lt, GetMutableLinkType(lname));
+  return lt->mutable_occurrence().Erase(first, second);
+}
+
+bool Database::HasAtomType(const std::string& aname) const {
+  return atom_types_.count(aname) > 0;
+}
+
+bool Database::HasLinkType(const std::string& lname) const {
+  return link_types_.count(lname) > 0;
+}
+
+Result<const AtomType*> Database::GetAtomType(const std::string& aname) const {
+  auto it = atom_types_.find(aname);
+  if (it == atom_types_.end()) {
+    return Status::NotFound("atom type '" + aname + "' not defined");
+  }
+  return static_cast<const AtomType*>(it->second.get());
+}
+
+Result<AtomType*> Database::GetMutableAtomType(const std::string& aname) {
+  auto it = atom_types_.find(aname);
+  if (it == atom_types_.end()) {
+    return Status::NotFound("atom type '" + aname + "' not defined");
+  }
+  return it->second.get();
+}
+
+Result<const LinkType*> Database::GetLinkType(const std::string& lname) const {
+  auto it = link_types_.find(lname);
+  if (it == link_types_.end()) {
+    return Status::NotFound("link type '" + lname + "' not defined");
+  }
+  return static_cast<const LinkType*>(it->second.get());
+}
+
+Result<LinkType*> Database::GetMutableLinkType(const std::string& lname) {
+  auto it = link_types_.find(lname);
+  if (it == link_types_.end()) {
+    return Status::NotFound("link type '" + lname + "' not defined");
+  }
+  return it->second.get();
+}
+
+std::vector<const AtomType*> Database::atom_types() const {
+  std::vector<const AtomType*> out;
+  out.reserve(atom_type_order_.size());
+  for (const std::string& aname : atom_type_order_) {
+    out.push_back(atom_types_.at(aname).get());
+  }
+  return out;
+}
+
+std::vector<const LinkType*> Database::link_types() const {
+  std::vector<const LinkType*> out;
+  out.reserve(link_type_order_.size());
+  for (const std::string& lname : link_type_order_) {
+    out.push_back(link_types_.at(lname).get());
+  }
+  return out;
+}
+
+std::vector<const LinkType*> Database::LinkTypesTouching(
+    const std::string& aname) const {
+  std::vector<const LinkType*> out;
+  for (const std::string& lname : link_type_order_) {
+    const LinkType* lt = link_types_.at(lname).get();
+    if (lt->Touches(aname)) out.push_back(lt);
+  }
+  return out;
+}
+
+Result<const Atom*> Database::GetAtom(const std::string& aname,
+                                      AtomId id) const {
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, GetAtomType(aname));
+  const Atom* atom = at->occurrence().Find(id);
+  if (atom == nullptr) {
+    return Status::NotFound("atom #" + std::to_string(id.value) +
+                            " not in atom type '" + aname + "'");
+  }
+  return atom;
+}
+
+Result<Value> Database::GetAttribute(const std::string& aname, AtomId id,
+                                     const std::string& attribute) const {
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, GetAtomType(aname));
+  MAD_ASSIGN_OR_RETURN(size_t idx, at->description().IndexOf(attribute));
+  const Atom* atom = at->occurrence().Find(id);
+  if (atom == nullptr) {
+    return Status::NotFound("atom #" + std::to_string(id.value) +
+                            " not in atom type '" + aname + "'");
+  }
+  return atom->values[idx];
+}
+
+Status Database::CreateIndex(const std::string& aname,
+                             const std::string& attribute) {
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, GetAtomType(aname));
+  MAD_ASSIGN_OR_RETURN(size_t value_index, at->description().IndexOf(attribute));
+  auto& per_type = indexes_[aname];
+  if (per_type.count(attribute) > 0) {
+    return Status::AlreadyExists("index on " + aname + "." + attribute +
+                                 " already exists");
+  }
+  auto index =
+      std::make_unique<AttributeIndex>(aname, attribute, value_index);
+  for (const Atom& atom : at->occurrence().atoms()) index->Insert(atom);
+  per_type[attribute] = std::move(index);
+  return Status::OK();
+}
+
+Status Database::DropIndex(const std::string& aname,
+                           const std::string& attribute) {
+  auto type_it = indexes_.find(aname);
+  if (type_it == indexes_.end() || type_it->second.erase(attribute) == 0) {
+    return Status::NotFound("no index on " + aname + "." + attribute);
+  }
+  if (type_it->second.empty()) indexes_.erase(type_it);
+  return Status::OK();
+}
+
+const AttributeIndex* Database::FindIndex(const std::string& aname,
+                                          const std::string& attribute) const {
+  auto type_it = indexes_.find(aname);
+  if (type_it == indexes_.end()) return nullptr;
+  auto attr_it = type_it->second.find(attribute);
+  if (attr_it == type_it->second.end()) return nullptr;
+  return attr_it->second.get();
+}
+
+Result<std::vector<AtomId>> Database::LookupByAttribute(
+    const std::string& aname, const std::string& attribute,
+    const Value& value) const {
+  if (const AttributeIndex* index = FindIndex(aname, attribute)) {
+    return index->Lookup(value);
+  }
+  MAD_ASSIGN_OR_RETURN(const AtomType* at, GetAtomType(aname));
+  MAD_ASSIGN_OR_RETURN(size_t idx, at->description().IndexOf(attribute));
+  std::vector<AtomId> matches;
+  for (const Atom& atom : at->occurrence().atoms()) {
+    if (atom.values[idx] == value) matches.push_back(atom.id);
+  }
+  return matches;
+}
+
+void Database::IndexInsert(const std::string& aname, const Atom& atom) {
+  auto type_it = indexes_.find(aname);
+  if (type_it == indexes_.end()) return;
+  for (auto& [attr, index] : type_it->second) index->Insert(atom);
+}
+
+void Database::IndexErase(const std::string& aname, const Atom& atom) {
+  auto type_it = indexes_.find(aname);
+  if (type_it == indexes_.end()) return;
+  for (auto& [attr, index] : type_it->second) index->Erase(atom);
+}
+
+std::string Database::UniqueAtomTypeName(const std::string& prefix) const {
+  if (atom_types_.count(prefix) == 0) return prefix;
+  for (int i = 2;; ++i) {
+    std::string candidate = prefix + "@" + std::to_string(i);
+    if (atom_types_.count(candidate) == 0) return candidate;
+  }
+}
+
+std::string Database::UniqueLinkTypeName(const std::string& prefix) const {
+  if (link_types_.count(prefix) == 0) return prefix;
+  for (int i = 2;; ++i) {
+    std::string candidate = prefix + "@" + std::to_string(i);
+    if (link_types_.count(candidate) == 0) return candidate;
+  }
+}
+
+Status Database::CheckConsistency() const {
+  // Atom values match their descriptions.
+  for (const auto& [aname, at] : atom_types_) {
+    for (const Atom& atom : at->occurrence().atoms()) {
+      Status s = at->description().ValidateRow(atom.values);
+      if (!s.ok()) {
+        return Status::Internal("atom type '" + aname + "': " + s.message());
+      }
+    }
+  }
+  // No dangling links.
+  for (const auto& [lname, lt] : link_types_) {
+    auto first_it = atom_types_.find(lt->first_atom_type());
+    auto second_it = atom_types_.find(lt->second_atom_type());
+    if (first_it == atom_types_.end() || second_it == atom_types_.end()) {
+      return Status::Internal("link type '" + lname +
+                              "' references a dropped atom type");
+    }
+    for (const Link& link : lt->occurrence().links()) {
+      if (!first_it->second->occurrence().Contains(link.first) ||
+          !second_it->second->occurrence().Contains(link.second)) {
+        return Status::Internal("link type '" + lname +
+                                "' contains a dangling link <#" +
+                                std::to_string(link.first.value) + ", #" +
+                                std::to_string(link.second.value) + ">");
+      }
+    }
+  }
+  // Indexes agree with their occurrences.
+  for (const auto& [aname, per_type] : indexes_) {
+    auto at_it = atom_types_.find(aname);
+    if (at_it == atom_types_.end()) {
+      return Status::Internal("index set for dropped atom type '" + aname +
+                              "'");
+    }
+    const AtomStore& store = at_it->second->occurrence();
+    for (const auto& [attr, index] : per_type) {
+      if (index->entry_count() != store.size()) {
+        return Status::Internal("index " + aname + "." + attr +
+                                " entry count mismatch");
+      }
+      for (const Atom& atom : store.atoms()) {
+        const auto& bucket = index->Lookup(atom.values[index->value_index()]);
+        bool found = false;
+        for (AtomId id : bucket) {
+          if (id == atom.id) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::Internal("index " + aname + "." + attr +
+                                  " is missing atom #" +
+                                  std::to_string(atom.id.value));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t Database::total_atom_count() const {
+  size_t n = 0;
+  for (const auto& [name, at] : atom_types_) n += at->occurrence().size();
+  return n;
+}
+
+size_t Database::total_link_count() const {
+  size_t n = 0;
+  for (const auto& [name, lt] : link_types_) n += lt->occurrence().size();
+  return n;
+}
+
+}  // namespace mad

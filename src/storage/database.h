@@ -1,0 +1,167 @@
+#ifndef MAD_STORAGE_DATABASE_H_
+#define MAD_STORAGE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/atom_type.h"
+#include "catalog/link_type.h"
+#include "storage/index.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// A MAD database (Def. 3): DB = <AT, LT>, a set of atom types plus a set of
+/// link types over them, together with their occurrences (the atom
+/// networks). The Database also owns atom-id assignment and enforces
+/// referential integrity:
+///
+///  * a link may only be inserted between atoms that exist in the link
+///    type's two atom types (no dangling links, ever);
+///  * deleting an atom removes every link attached to it.
+///
+/// Algebra operations *enlarge* the database with result atom types and
+/// inherited link types (the paper's database domain DB* closure): results
+/// are ordinary atom types inside the same Database.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // --- Schema definition -------------------------------------------------
+
+  /// Defines a new atom type; the name must be unused by atom types.
+  Status DefineAtomType(const std::string& aname, Schema description);
+
+  /// Defines a new link type connecting two existing atom types; the name
+  /// must be unused by link types. Reflexive link types (both ends equal)
+  /// are allowed, as are multiple link types between the same pair. The
+  /// optional cardinality is enforced on every link insertion (the paper's
+  /// "extended link-type definition").
+  Status DefineLinkType(const std::string& lname, const std::string& first,
+                        const std::string& second,
+                        LinkCardinality cardinality = LinkCardinality::kManyToMany);
+
+  /// Drops an atom type together with every link type touching it.
+  Status DropAtomType(const std::string& aname);
+  Status DropLinkType(const std::string& lname);
+
+  // --- Occurrence manipulation -------------------------------------------
+
+  /// Inserts an atom with a freshly assigned id; returns the id.
+  Result<AtomId> InsertAtom(const std::string& aname,
+                            std::vector<Value> values);
+
+  /// Inserts an atom under a caller-chosen id. Used by the algebra layer to
+  /// preserve atom identity across derived atom types (see Def. 9): the same
+  /// id may legitimately live in several atom types.
+  Status InsertAtomWithId(const std::string& aname, AtomId id,
+                          std::vector<Value> values);
+
+  /// Replaces the attribute values of an existing atom.
+  Status UpdateAtom(const std::string& aname, AtomId id,
+                    std::vector<Value> values);
+
+  /// Deletes an atom and, maintaining referential integrity, every link of
+  /// any link type that attaches to it at a role of this atom type.
+  Status DeleteAtom(const std::string& aname, AtomId id);
+
+  /// Inserts a link; both endpoint atoms must exist in the link type's
+  /// respective atom types (referential integrity).
+  Status InsertLink(const std::string& lname, AtomId first, AtomId second);
+  Status EraseLink(const std::string& lname, AtomId first, AtomId second);
+
+  // --- Lookup -------------------------------------------------------------
+
+  bool HasAtomType(const std::string& aname) const;
+  bool HasLinkType(const std::string& lname) const;
+
+  /// atyp(aname); NotFound if absent.
+  Result<const AtomType*> GetAtomType(const std::string& aname) const;
+  Result<AtomType*> GetMutableAtomType(const std::string& aname);
+  Result<const LinkType*> GetLinkType(const std::string& lname) const;
+  Result<LinkType*> GetMutableLinkType(const std::string& lname);
+
+  /// All atom types in definition order.
+  std::vector<const AtomType*> atom_types() const;
+  /// All link types in definition order.
+  std::vector<const LinkType*> link_types() const;
+  /// Link types having `aname` at either end, in definition order.
+  std::vector<const LinkType*> LinkTypesTouching(const std::string& aname) const;
+
+  /// The atom `id` within atom type `aname`; NotFound if absent.
+  Result<const Atom*> GetAtom(const std::string& aname, AtomId id) const;
+
+  /// Value of `attribute` of atom `id` in atom type `aname`.
+  Result<Value> GetAttribute(const std::string& aname, AtomId id,
+                             const std::string& attribute) const;
+
+  // --- Secondary indexes -----------------------------------------------------
+
+  /// Builds a hash index over `attribute` of atom type `aname` and keeps it
+  /// maintained across occurrence mutations. Fails if it already exists.
+  Status CreateIndex(const std::string& aname, const std::string& attribute);
+  Status DropIndex(const std::string& aname, const std::string& attribute);
+
+  /// The index over (aname, attribute), or nullptr.
+  const AttributeIndex* FindIndex(const std::string& aname,
+                                  const std::string& attribute) const;
+
+  /// Atom ids of `aname` whose `attribute` equals `value` — through the
+  /// index when one exists, by scan otherwise.
+  Result<std::vector<AtomId>> LookupByAttribute(const std::string& aname,
+                                                const std::string& attribute,
+                                                const Value& value) const;
+
+  // --- Id and name generation ----------------------------------------------
+
+  /// Allocates a fresh, never-reused atom id.
+  AtomId NewAtomId() { return AtomId{++last_atom_id_}; }
+
+  /// A type name based on `prefix` that clashes with no existing atom or
+  /// link type ("prefix", "prefix@2", "prefix@3", ...).
+  std::string UniqueAtomTypeName(const std::string& prefix) const;
+  std::string UniqueLinkTypeName(const std::string& prefix) const;
+
+  // --- Invariant checking ------------------------------------------------------
+
+  /// Full-database consistency audit: every link's endpoints exist in the
+  /// link type's atom types (no dangling links), every atom's values match
+  /// its type's description, and every secondary index agrees with its
+  /// occurrence. Used by the integrity test suite and available to
+  /// applications as a debugging aid.
+  Status CheckConsistency() const;
+
+  // --- Statistics -----------------------------------------------------------
+
+  size_t atom_type_count() const { return atom_type_order_.size(); }
+  size_t link_type_count() const { return link_type_order_.size(); }
+  size_t total_atom_count() const;
+  size_t total_link_count() const;
+
+ private:
+  /// Index maintenance hooks called by the occurrence mutators.
+  void IndexInsert(const std::string& aname, const Atom& atom);
+  void IndexErase(const std::string& aname, const Atom& atom);
+
+  std::string name_;
+  std::map<std::string, std::unique_ptr<AtomType>> atom_types_;
+  /// aname -> attribute -> index.
+  std::map<std::string, std::map<std::string, std::unique_ptr<AttributeIndex>>>
+      indexes_;
+  std::vector<std::string> atom_type_order_;
+  std::map<std::string, std::unique_ptr<LinkType>> link_types_;
+  std::vector<std::string> link_type_order_;
+  uint64_t last_atom_id_ = 0;
+};
+
+}  // namespace mad
+
+#endif  // MAD_STORAGE_DATABASE_H_

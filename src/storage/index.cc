@@ -1,0 +1,32 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+namespace mad {
+
+namespace {
+const std::vector<AtomId> kNoMatches;
+}  // namespace
+
+void AttributeIndex::Insert(const Atom& atom) {
+  buckets_[atom.values[value_index_]].push_back(atom.id);
+  ++entries_;
+}
+
+void AttributeIndex::Erase(const Atom& atom) {
+  auto it = buckets_.find(atom.values[value_index_]);
+  if (it == buckets_.end()) return;
+  auto pos = std::find(it->second.begin(), it->second.end(), atom.id);
+  if (pos == it->second.end()) return;
+  it->second.erase(pos);
+  --entries_;
+  if (it->second.empty()) buckets_.erase(it);
+}
+
+const std::vector<AtomId>& AttributeIndex::Lookup(const Value& value) const {
+  auto it = buckets_.find(value);
+  if (it == buckets_.end()) return kNoMatches;
+  return it->second;
+}
+
+}  // namespace mad

@@ -1,0 +1,69 @@
+#include "storage/link_store.h"
+
+#include <algorithm>
+
+namespace mad {
+
+namespace {
+const std::vector<AtomId> kNoPartners;
+
+void RemoveOne(std::vector<AtomId>& list, AtomId id) {
+  auto it = std::find(list.begin(), list.end(), id);
+  if (it != list.end()) list.erase(it);
+}
+}  // namespace
+
+Status LinkStore::Insert(AtomId first, AtomId second) {
+  if (!first.valid() || !second.valid()) {
+    return Status::InvalidArgument("link endpoints must be valid atom ids");
+  }
+  Link link{first, second};
+  if (!present_.insert(link).second) {
+    return Status::AlreadyExists("link <#" + std::to_string(first.value) +
+                                 ", #" + std::to_string(second.value) +
+                                 "> already present");
+  }
+  links_.push_back(link);
+  forward_[first].push_back(second);
+  backward_[second].push_back(first);
+  return Status::OK();
+}
+
+Status LinkStore::Erase(AtomId first, AtomId second) {
+  Link link{first, second};
+  if (present_.erase(link) == 0) {
+    return Status::NotFound("link <#" + std::to_string(first.value) + ", #" +
+                            std::to_string(second.value) + "> not present");
+  }
+  links_.erase(std::find(links_.begin(), links_.end(), link));
+  RemoveOne(forward_[first], second);
+  RemoveOne(backward_[second], first);
+  return Status::OK();
+}
+
+size_t LinkStore::EraseAllOf(AtomId atom) {
+  std::vector<Link> doomed;
+  for (const Link& link : links_) {
+    if (link.first == atom || link.second == atom) doomed.push_back(link);
+  }
+  for (const Link& link : doomed) {
+    Status s = Erase(link.first, link.second);
+    (void)s;  // Present by construction.
+  }
+  return doomed.size();
+}
+
+bool LinkStore::Contains(AtomId first, AtomId second) const {
+  return present_.count(Link{first, second}) > 0;
+}
+
+const std::vector<AtomId>& LinkStore::Partners(AtomId atom,
+                                               LinkDirection direction) const {
+  const auto& index =
+      direction == LinkDirection::kForward ? forward_ : backward_;
+  auto it = index.find(atom);
+  if (it == index.end()) return kNoPartners;
+  return it->second;
+}
+
+}  // namespace mad

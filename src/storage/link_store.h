@@ -1,0 +1,75 @@
+#ifndef MAD_STORAGE_LINK_STORE_H_
+#define MAD_STORAGE_LINK_STORE_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/atom.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// One link: a pair of atoms. `first` plays the role of the link type's
+/// first atom type, `second` of its second.
+///
+/// Def. 2 calls links "unsorted pairs" — traversal is symmetric and neither
+/// end is privileged — but madlib stores the role of each end explicitly so
+/// that *reflexive* link types (e.g. a bill-of-material 'composition' link on
+/// atom type 'part') can still distinguish the super-component end from the
+/// sub-component end, which the paper's super-/sub-component views require.
+struct Link {
+  AtomId first;
+  AtomId second;
+
+  auto operator<=>(const Link&) const = default;
+};
+
+/// Traversal direction through a link type.
+enum class LinkDirection {
+  kForward,   ///< from the first-role end to the second-role end
+  kBackward,  ///< from the second-role end to the first-role end
+};
+
+/// A link-type occurrence (Def. 2): a set of links, indexed from both ends
+/// so traversal is symmetric and O(degree).
+class LinkStore {
+ public:
+  /// Inserts a link; duplicate (first, second) pairs are rejected.
+  Status Insert(AtomId first, AtomId second);
+
+  /// Removes a link; fails if absent.
+  Status Erase(AtomId first, AtomId second);
+
+  /// Removes every link having `atom` at either end; returns the number
+  /// removed. Used to maintain referential integrity on atom deletion.
+  size_t EraseAllOf(AtomId atom);
+
+  bool Contains(AtomId first, AtomId second) const;
+
+  /// Partner atoms of `atom` when traversing in `direction`; for kForward
+  /// `atom` is matched against the first role, for kBackward against the
+  /// second.
+  const std::vector<AtomId>& Partners(AtomId atom,
+                                      LinkDirection direction) const;
+
+  size_t size() const { return links_.size(); }
+  bool empty() const { return links_.empty(); }
+
+  /// All links in insertion order.
+  const std::vector<Link>& links() const { return links_; }
+
+ private:
+  void Reindex();
+
+  std::vector<Link> links_;
+  std::set<Link> present_;
+  std::unordered_map<AtomId, std::vector<AtomId>> forward_;
+  std::unordered_map<AtomId, std::vector<AtomId>> backward_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_STORAGE_LINK_STORE_H_

@@ -1,0 +1,46 @@
+#ifndef MAD_STORAGE_SERIALIZER_H_
+#define MAD_STORAGE_SERIALIZER_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// Writes the complete database — schema, occurrences (with atom ids), and
+/// index definitions — to a line-oriented text format:
+///
+///   MADDB 1
+///   DATABASE <name>
+///   ATOMTYPE <name> <attr-count>
+///   ATTR <name> <TYPE>
+///   ATOM <id> <value>...
+///   LINKTYPE <name> <first> <second>
+///   LINK <first-id> <second-id>
+///   INDEX <atom-type> <attribute>
+///   END
+///
+/// Values are encoded as N (null), I<int>, D<double>, B0/B1, or
+/// S<percent-encoded-utf8>; percent-encoding covers '%', whitespace and
+/// control characters, so the format stays line-parsable for arbitrary
+/// string contents.
+Status WriteDatabase(const Database& db, std::ostream& out);
+
+/// Reads a database previously written by WriteDatabase. The stream must
+/// contain exactly one database; trailing garbage is an error.
+Result<std::unique_ptr<Database>> ReadDatabase(std::istream& in);
+
+/// Convenience: full round trip through a string.
+Result<std::string> SerializeDatabase(const Database& db);
+Result<std::unique_ptr<Database>> DeserializeDatabase(const std::string& text);
+
+/// Deep copy of a database — atom ids, occurrences, and index definitions
+/// included (implemented as a serialization round trip).
+Result<std::unique_ptr<Database>> CloneDatabase(const Database& db);
+
+}  // namespace mad
+
+#endif  // MAD_STORAGE_SERIALIZER_H_

@@ -1,0 +1,191 @@
+#include "text/printer.h"
+
+namespace mad {
+namespace text {
+
+namespace {
+
+std::string AtomBody(const Atom& atom) {
+  std::string out = "<";
+  for (size_t i = 0; i < atom.values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atom.values[i].ToString();
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace
+
+std::string FormatAtom(const Database& db, const std::string& type_name,
+                       AtomId id) {
+  auto at = db.GetAtomType(type_name);
+  if (!at.ok()) return "<?>";
+  const Atom* atom = (*at)->occurrence().Find(id);
+  if (atom == nullptr) return "<#" + std::to_string(id.value) + "?>";
+  return AtomBody(*atom);
+}
+
+std::string FormatDatabaseSpec(const Database& db, size_t max_items) {
+  std::string out;
+  out += "-- formal specification of database " + db.name() + " --\n";
+  for (const AtomType* at : db.atom_types()) {
+    out += at->name() + " = <" + at->name() + ", " +
+           at->description().ToString() + ", {";
+    const auto& atoms = at->occurrence().atoms();
+    for (size_t i = 0; i < atoms.size() && i < max_items; ++i) {
+      if (i > 0) out += ", ";
+      out += AtomBody(atoms[i]);
+    }
+    if (atoms.size() > max_items) out += ", ...";
+    out += "}> in AT*\n";
+  }
+  for (const LinkType* lt : db.link_types()) {
+    out += lt->name() + " = <" + lt->name() + ", {" + lt->first_atom_type() +
+           ", " + lt->second_atom_type() + "}, {";
+    const auto& links = lt->occurrence().links();
+    for (size_t i = 0; i < links.size() && i < max_items; ++i) {
+      if (i > 0) out += ", ";
+      out += "<#" + std::to_string(links[i].first.value) + ", #" +
+             std::to_string(links[i].second.value) + ">";
+    }
+    if (links.size() > max_items) out += ", ...";
+    out += "}> in LT*\n";
+  }
+  out += db.name() + " = <{";
+  bool first = true;
+  for (const AtomType* at : db.atom_types()) {
+    if (!first) out += ", ";
+    out += at->name();
+    first = false;
+  }
+  out += "}, {";
+  first = true;
+  for (const LinkType* lt : db.link_types()) {
+    if (!first) out += ", ";
+    out += lt->name();
+    first = false;
+  }
+  out += "}> in DB*\n";
+  return out;
+}
+
+std::string FormatMadDiagram(const Database& db) {
+  std::string out = "-- MAD diagram (database schema) of " + db.name() + " --\n";
+  out += "atom types:\n";
+  for (const AtomType* at : db.atom_types()) {
+    out += "  [" + at->name() + "] " + at->description().ToString() + "\n";
+  }
+  out += "link types (nondirectional):\n";
+  for (const LinkType* lt : db.link_types()) {
+    out += "  " + lt->first_atom_type() + " ---" + lt->name() + "--- " +
+           lt->second_atom_type();
+    if (lt->reflexive()) out += "  (reflexive)";
+    if (lt->cardinality() != LinkCardinality::kManyToMany) {
+      out += std::string("  [") + LinkCardinalityName(lt->cardinality()) + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FormatErDiagram(const er::ErSchema& er) {
+  std::string out = "-- ER diagram --\n";
+  out += "entity types:\n";
+  for (const er::EntityType& entity : er.entity_types()) {
+    out += "  [" + entity.name + "] " + entity.attributes.ToString() + "\n";
+  }
+  out += "relationship types:\n";
+  for (const er::RelationshipType& rel : er.relationship_types()) {
+    out += "  " + rel.left + " <" + rel.name + " " +
+           er::CardinalityName(rel.cardinality) + "> " + rel.right + "\n";
+  }
+  return out;
+}
+
+std::string FormatMolecule(const Database& db, const MoleculeDescription& md,
+                           const Molecule& molecule) {
+  std::string out = "molecule(root=" + FormatAtom(
+      db, md.root_node().type_name, molecule.root()) + ")\n";
+  for (size_t i = 0; i < md.nodes().size(); ++i) {
+    const MoleculeNode& node = md.nodes()[i];
+    out += "  " + node.label + ": {";
+    const auto& atoms = molecule.AtomsOf(i);
+    for (size_t j = 0; j < atoms.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += FormatAtom(db, node.type_name, atoms[j]);
+    }
+    out += "}\n";
+  }
+  out += "  links: {";
+  for (size_t j = 0; j < molecule.links().size(); ++j) {
+    if (j > 0) out += ", ";
+    const MoleculeLink& link = molecule.links()[j];
+    out += "<#" + std::to_string(link.parent.value) + ", #" +
+           std::to_string(link.child.value) + ">";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string FormatMoleculeType(const Database& db, const MoleculeType& mt,
+                               size_t max_molecules) {
+  std::string out = "molecule type '" + mt.name() + "'\n";
+  out += "  structure: " + mt.description().ToString() + "\n";
+  out += "  molecule set (" + std::to_string(mt.size()) + " molecules):\n";
+  for (size_t i = 0; i < mt.molecules().size() && i < max_molecules; ++i) {
+    std::string body = FormatMolecule(db, mt.description(), mt.molecules()[i]);
+    // Indent the molecule block.
+    out += "    ";
+    for (char c : body) {
+      out += c;
+      if (c == '\n') out += "    ";
+    }
+    // Trim the dangling indent after the final newline.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+  }
+  if (mt.size() > max_molecules) out += "    ...\n";
+  return out;
+}
+
+std::string FormatRecursiveMolecule(const Database& db,
+                                    const RecursiveDescription& rd,
+                                    const RecursiveMolecule& molecule) {
+  std::string out = "recursive molecule over " + rd.atom_type + "-[" +
+                    rd.link_type +
+                    (rd.direction == LinkDirection::kBackward ? "~" : "") +
+                    "*]\n";
+  for (size_t level = 0; level < molecule.levels().size(); ++level) {
+    out += "  level " + std::to_string(level) + ": {";
+    const auto& atoms = molecule.levels()[level];
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += FormatAtom(db, rd.atom_type, atoms[i]);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string FormatConceptComparison() {
+  // Fig. 3 verbatim.
+  return
+      "relational concepts      | MAD concepts\n"
+      "-------------------------+-------------------------\n"
+      "attribute                | attribute\n"
+      "attribute domain         | attribute domain\n"
+      "relation schema          | atom-type description\n"
+      "tuple set                | atom-type occurrence\n"
+      "tuple                    | atom\n"
+      "relation                 | atom type\n"
+      "database                 | database\n"
+      "-                        | link\n"
+      "-                        | link-type description\n"
+      "-                        | link-type occurrence\n"
+      "-                        | link type\n"
+      "referential integrity(?) | referential integrity(!)\n"
+      "'relation domain'        | database domain\n";
+}
+
+}  // namespace text
+}  // namespace mad

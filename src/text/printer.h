@@ -1,0 +1,52 @@
+#ifndef MAD_TEXT_PRINTER_H_
+#define MAD_TEXT_PRINTER_H_
+
+#include <string>
+
+#include "er/er_model.h"
+#include "molecule/molecule_type.h"
+#include "molecule/recursive.h"
+#include "storage/database.h"
+
+namespace mad {
+namespace text {
+
+/// Fig. 4 style: the formal specification of a database — every atom type
+/// as <name, description, occurrence> and every link type as
+/// <name, {types}, {links}>. At most `max_items` occurrence elements are
+/// printed per type ("..." marks truncation).
+std::string FormatDatabaseSpec(const Database& db, size_t max_items = 4);
+
+/// Fig. 1 (lower part) style: the MAD diagram — atom types as boxes-by-name
+/// and link types as edges.
+std::string FormatMadDiagram(const Database& db);
+
+/// Fig. 1 (upper part) style: the ER diagram with cardinalities.
+std::string FormatErDiagram(const er::ErSchema& er);
+
+/// One atom as "<SP, 1000>".
+std::string FormatAtom(const Database& db, const std::string& type_name,
+                       AtomId id);
+
+/// Fig. 2 style: one molecule — per description node the atoms, then the
+/// component links.
+std::string FormatMolecule(const Database& db, const MoleculeDescription& md,
+                           const Molecule& molecule);
+
+/// Fig. 2 style: a molecule type — structure line plus up to
+/// `max_molecules` molecules of the set.
+std::string FormatMoleculeType(const Database& db, const MoleculeType& mt,
+                               size_t max_molecules = 4);
+
+/// A recursive molecule as an indented component tree (levels).
+std::string FormatRecursiveMolecule(const Database& db,
+                                    const RecursiveDescription& rd,
+                                    const RecursiveMolecule& molecule);
+
+/// Fig. 3: the relational-vs-MAD concept correspondence table.
+std::string FormatConceptComparison();
+
+}  // namespace text
+}  // namespace mad
+
+#endif  // MAD_TEXT_PRINTER_H_

@@ -1,0 +1,78 @@
+#ifndef MAD_UTIL_RESULT_H_
+#define MAD_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace mad {
+
+/// Either a value of type T or a non-OK Status, in the style of
+/// arrow::Result / absl::StatusOr. Accessing the value of a failed Result is
+/// a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — enables `return some_value;`.
+  Result(T value) : repr_(std::move(value)) {}
+  /// Implicit construction from a non-OK status — enables
+  /// `return Status::InvalidArgument(...);`.
+  Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the carried status; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status out of the enclosing function.
+#define MAD_ASSIGN_OR_RETURN(lhs, expr)                      \
+  MAD_ASSIGN_OR_RETURN_IMPL_(                                \
+      MAD_RESULT_CONCAT_(_mad_result_, __LINE__), lhs, expr)
+
+#define MAD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define MAD_RESULT_CONCAT_(a, b) MAD_RESULT_CONCAT_IMPL_(a, b)
+#define MAD_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace mad
+
+#endif  // MAD_UTIL_RESULT_H_

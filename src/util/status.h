@@ -1,0 +1,102 @@
+#ifndef MAD_UTIL_STATUS_H_
+#define MAD_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mad {
+
+/// Error categories used across the library. The public API never throws;
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  /// A name lookup failed (unknown atom type, link type, attribute, ...).
+  kNotFound,
+  /// A definition clashes with an existing one (duplicate type name, ...).
+  kAlreadyExists,
+  /// The arguments violate a static precondition (schema mismatch,
+  /// ill-formed molecule description, type error in an expression, ...).
+  kInvalidArgument,
+  /// A structural invariant of the data model would be violated
+  /// (dangling link, non-DAG molecule structure, ...).
+  kConstraintViolation,
+  /// Parsing MQL text failed.
+  kParseError,
+  /// The operation is well-formed but not supported (yet).
+  kUnsupported,
+  /// An internal invariant failed; indicates a bug in madlib itself.
+  kInternal,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic status object carrying a code and a message.
+///
+/// The conventions follow the common database-engine idiom (RocksDB, Arrow):
+/// functions that can fail return Status (or Result<T>); Status is cheap to
+/// move, and `MAD_RETURN_IF_ERROR` propagates failures.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define MAD_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::mad::Status _mad_status = (expr);           \
+    if (!_mad_status.ok()) return _mad_status;    \
+  } while (false)
+
+}  // namespace mad
+
+#endif  // MAD_UTIL_STATUS_H_

@@ -1,0 +1,80 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace mad {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool IsIdentifier(std::string_view text) {
+  if (text.empty()) return false;
+  auto head = static_cast<unsigned char>(text[0]);
+  if (!std::isalpha(head) && head != '_') return false;
+  for (size_t i = 1; i < text.size(); ++i) {
+    auto c = static_cast<unsigned char>(text[i]);
+    if (!std::isalnum(c) && c != '_') return false;
+  }
+  return true;
+}
+
+std::string QuoteString(std::string_view text) {
+  std::string out = "'";
+  for (char c : text) {
+    out += c;
+    if (c == '\'') out += '\'';
+  }
+  out += '\'';
+  return out;
+}
+
+}  // namespace mad

@@ -1,0 +1,33 @@
+#ifndef MAD_UTIL_STRING_UTIL_H_
+#define MAD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mad {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep=", ").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` at every occurrence of `sep`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Case-insensitive ASCII equality (used for MQL keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view text);
+
+/// True iff `text` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view text);
+
+/// Quotes a string for display: abc -> 'abc', with ' doubled.
+std::string QuoteString(std::string_view text);
+
+}  // namespace mad
+
+#endif  // MAD_UTIL_STRING_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef MAD_WORKLOAD_BOM_H_
+#define MAD_WORKLOAD_BOM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+namespace workload {
+
+/// Builds the small fixed bill-of-material the paper alludes to in Ch. 3.1
+/// (one reflexive link type 'composition' on atom type 'part'):
+///
+///   car ── engine ── piston ── bolt
+///       └─ chassis ──────────── bolt   (bolt is a shared sub-part)
+///
+/// part has attributes {name: STRING, cost: INT64}; composition links are
+/// stored <super, sub>. Returns name -> atom id.
+Result<std::map<std::string, AtomId>> BuildCarBom(Database& db);
+
+/// Parameters of the scaled synthetic BOM used by the recursion benchmarks
+/// (PERF-REC). Deterministic for a fixed seed.
+struct BomScale {
+  int roots = 1;
+  int depth = 6;
+  /// Children per part.
+  int fanout = 3;
+  /// Probability that a child slot reuses an existing part of the next
+  /// level instead of minting a new one (DAG sharing).
+  double share_fraction = 0.3;
+  uint64_t seed = 7;
+};
+
+struct BomStats {
+  std::vector<AtomId> roots;
+  size_t parts = 0;
+  size_t links = 0;
+};
+
+/// Generates a layered BOM DAG into `db` (which must not yet define
+/// 'part'/'composition').
+Result<BomStats> GenerateBom(Database& db, const BomScale& scale);
+
+}  // namespace workload
+}  // namespace mad
+
+#endif  // MAD_WORKLOAD_BOM_H_

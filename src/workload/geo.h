@@ -1,0 +1,73 @@
+#ifndef MAD_WORKLOAD_GEO_H_
+#define MAD_WORKLOAD_GEO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+namespace workload {
+
+/// Atom ids of the Figure-4 geographic database, keyed by the names used in
+/// the paper (states by abbreviation, areas a1..a10, nets n1..n3, edges
+/// e1..e12, points pn/p2..p12, plus three point-like cities).
+struct GeoIds {
+  std::map<std::string, AtomId> states;
+  std::map<std::string, AtomId> rivers;
+  std::map<std::string, AtomId> areas;
+  std::map<std::string, AtomId> nets;
+  std::map<std::string, AtomId> edges;
+  std::map<std::string, AtomId> points;
+  std::map<std::string, AtomId> cities;
+};
+
+/// Builds the paper's geographic database (Figs. 1 and 4) into `db`:
+///
+///   atom types: state, city, river, area, net, edge, point
+///   link types: state-area, city-point, river-net, area-edge, net-edge,
+///               edge-point
+///
+/// The occurrence reproduces the situations the paper calls out:
+///  * the river Parana (net n1) shares edge/point atoms with the states
+///    Minas Gerais, Sao Paulo, and Parana (Ch. 2);
+///  * point 'pn' is shared by four edges so that its point-neighborhood
+///    molecule reaches the states SP, MS, MG, GO and the river Parana
+///    (Fig. 2, upper part);
+///  * the mt_state molecules of SP and MG share point 'pn' (Fig. 2, lower).
+Result<GeoIds> BuildFigure4GeoDatabase(Database& db);
+
+/// Parameters of the scaled synthetic geography used by the performance
+/// benchmarks (PERF-NM, PERF-OPS). All sizes are per-instance counts; the
+/// generator is deterministic for a fixed seed.
+struct GeoScale {
+  int states = 50;
+  int rivers = 10;
+  /// Border edges per area.
+  int edges_per_area = 8;
+  /// Course edges per net; drawn from area borders with this probability
+  /// (producing the n:m sharing the paper motivates), else fresh.
+  int edges_per_net = 20;
+  double shared_edge_fraction = 0.5;
+  /// Points per edge (each edge keeps exactly 2, sampled from a pool of
+  /// this size per area so neighbouring edges share corner points).
+  int point_pool_per_area = 10;
+  uint64_t seed = 42;
+};
+
+/// Summary of a generated scaled geography.
+struct GeoStats {
+  size_t atoms = 0;
+  size_t links = 0;
+};
+
+/// Generates a scaled geographic database with the Figure-1 schema into
+/// `db` (which must be empty) and returns its size.
+Result<GeoStats> GenerateScaledGeo(Database& db, const GeoScale& scale);
+
+}  // namespace workload
+}  // namespace mad
+
+#endif  // MAD_WORKLOAD_GEO_H_

@@ -1,0 +1,294 @@
+#include "algebra/atom_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "expr/expr.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace e = expr;
+namespace a = algebra;
+namespace {
+
+class AtomAlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = workload::BuildFigure4GeoDatabase(db_);
+    ASSERT_TRUE(ids.ok()) << ids.status();
+    ids_ = *ids;
+  }
+
+  std::set<std::string> AtomNames(const std::string& type) {
+    std::set<std::string> names;
+    auto at = db_.GetAtomType(type);
+    EXPECT_TRUE(at.ok());
+    size_t idx = *(*at)->description().IndexOf("name");
+    for (const Atom& atom : (*at)->occurrence().atoms()) {
+      names.insert(atom.values[idx].AsString());
+    }
+    return names;
+  }
+
+  Database db_{"GEO_DB"};
+  workload::GeoIds ids_;
+};
+
+TEST_F(AtomAlgebraTest, FixtureShape) {
+  EXPECT_EQ(db_.atom_type_count(), 7u);
+  EXPECT_EQ(db_.link_type_count(), 6u);
+  EXPECT_EQ((*db_.GetAtomType("state"))->occurrence().size(), 10u);
+  EXPECT_EQ((*db_.GetAtomType("edge"))->occurrence().size(), 12u);
+  EXPECT_EQ((*db_.GetAtomType("point"))->occurrence().size(), 12u);
+}
+
+TEST_F(AtomAlgebraTest, RestrictSelectsSubsetPreservingIdentity) {
+  auto result = a::Restrict(db_, "state",
+                            e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000})),
+                            "big_states");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->atom_type, "big_states");
+  EXPECT_EQ(AtomNames("big_states"),
+            (std::set<std::string>{"BA", "MS", "RS"}));
+  // Identity preserved: BA keeps its id.
+  auto at = db_.GetAtomType("big_states");
+  EXPECT_TRUE((*at)->occurrence().Contains(ids_.states["BA"]));
+  // The source is untouched.
+  EXPECT_EQ((*db_.GetAtomType("state"))->occurrence().size(), 10u);
+}
+
+TEST_F(AtomAlgebraTest, RestrictInheritsFilteredLinkTypes) {
+  auto result = a::Restrict(db_, "state",
+                            e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000})),
+                            "big_states");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->inherited_link_types.size(), 1u);
+  const std::string& lname = result->inherited_link_types[0];
+  EXPECT_EQ(lname, "state-area@big_states");
+  auto lt = db_.GetLinkType(lname);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ((*lt)->first_atom_type(), "big_states");
+  EXPECT_EQ((*lt)->second_atom_type(), "area");
+  // Only links of surviving states remain: BA, MS, RS each have one area.
+  EXPECT_EQ((*lt)->occurrence().size(), 3u);
+  EXPECT_TRUE(
+      (*lt)->occurrence().Contains(ids_.states["BA"], ids_.areas["a1"]));
+}
+
+TEST_F(AtomAlgebraTest, RestrictValidatesPredicate) {
+  EXPECT_FALSE(a::Restrict(db_, "state",
+                           e::Gt(e::Attr("bogus"), e::Lit(int64_t{1})))
+                   .ok());
+  EXPECT_FALSE(a::Restrict(db_, "state", nullptr).ok());
+  EXPECT_FALSE(a::Restrict(db_, "bogus_type",
+                           e::Gt(e::Attr("hectare"), e::Lit(int64_t{1})))
+                   .ok());
+  // Non-predicate expression rejected up front.
+  EXPECT_FALSE(
+      a::Restrict(db_, "state", e::Add(e::Attr("hectare"), e::Lit(int64_t{1})))
+          .ok());
+}
+
+TEST_F(AtomAlgebraTest, ProjectNarrowsSchemaKeepingIdentity) {
+  auto result = a::Project(db_, "state", {"name"}, "state_names");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto at = db_.GetAtomType("state_names");
+  ASSERT_TRUE(at.ok());
+  EXPECT_EQ((*at)->description().attribute_count(), 1u);
+  EXPECT_EQ((*at)->occurrence().size(), 10u);
+  EXPECT_TRUE((*at)->occurrence().Contains(ids_.states["SP"]));
+  // Link inheritance keeps the projected type connected to the network.
+  ASSERT_EQ(result->inherited_link_types.size(), 1u);
+  EXPECT_EQ((*db_.GetLinkType(result->inherited_link_types[0]))
+                ->occurrence()
+                .size(),
+            10u);
+}
+
+TEST_F(AtomAlgebraTest, ProjectUnknownAttributeFails) {
+  EXPECT_FALSE(a::Project(db_, "state", {"bogus"}).ok());
+}
+
+TEST_F(AtomAlgebraTest, RenameThenProductMatchesPaperBorderExample) {
+  // Ch. 3.1: x(area, edge) = border. `name` occurs in both operands, so
+  // rename first (Def. 4 requires pairwise-disjoint descriptions).
+  ASSERT_TRUE(a::Rename(db_, "area", {{"name", "aname"}}, "area_r").ok());
+  ASSERT_TRUE(a::Rename(db_, "edge", {{"name", "ename"}}, "edge_r").ok());
+  auto border = a::CartesianProduct(db_, "area_r", "edge_r", "border");
+  ASSERT_TRUE(border.ok()) << border.status();
+
+  auto at = db_.GetAtomType("border");
+  ASSERT_TRUE(at.ok());
+  // 10 areas x 12 edges.
+  EXPECT_EQ((*at)->occurrence().size(), 120u);
+  EXPECT_EQ((*at)->description().ToString(),
+            "{aname: STRING, hectare: INT64, ename: STRING}");
+
+  // The paper continues: σ[hectare > 1000](border).
+  auto big = a::Restrict(db_, "border",
+                         e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000})),
+                         "big_border");
+  ASSERT_TRUE(big.ok()) << big.status();
+  // Areas with hectare > 1000: BA (1500), MS (1100), RS (1050) -> 3 x 12.
+  EXPECT_EQ((*db_.GetAtomType("big_border"))->occurrence().size(), 36u);
+}
+
+TEST_F(AtomAlgebraTest, ProductInheritsLinksOfBothComponents) {
+  ASSERT_TRUE(a::Rename(db_, "area", {{"name", "aname"}}, "area_r").ok());
+  ASSERT_TRUE(a::Rename(db_, "edge", {{"name", "ename"}}, "edge_r").ok());
+  auto border = a::CartesianProduct(db_, "area_r", "edge_r", "border");
+  ASSERT_TRUE(border.ok());
+  // area_r inherited state-area and area-edge; edge_r inherited area-edge,
+  // net-edge, edge-point. Each contributes its roles to the product.
+  EXPECT_GE(border->inherited_link_types.size(), 5u);
+  // A border atom composed of (a1, e1) is linked to the state owning a1.
+  bool found_state_link = false;
+  for (const std::string& lname : border->inherited_link_types) {
+    const LinkType* lt = *db_.GetLinkType(lname);
+    if (lt->first_atom_type() == "state" || lt->second_atom_type() == "state") {
+      found_state_link = true;
+      // 12 border atoms per area, one state link each.
+      EXPECT_EQ(lt->occurrence().size(), 120u);
+    }
+  }
+  EXPECT_TRUE(found_state_link);
+}
+
+TEST_F(AtomAlgebraTest, ProductRequiresDisjointSchemas) {
+  EXPECT_EQ(a::CartesianProduct(db_, "area", "edge").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(a::CartesianProduct(db_, "state", "state").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AtomAlgebraTest, UnionCombinesByIdentity) {
+  ASSERT_TRUE(a::Restrict(db_, "state",
+                          e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000})),
+                          "big")
+                  .ok());
+  ASSERT_TRUE(a::Restrict(db_, "state",
+                          e::Eq(e::Attr("name"), e::Lit("SP")), "sp")
+                  .ok());
+  auto result = a::Union(db_, "big", "sp", "big_or_sp");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(AtomNames("big_or_sp"),
+            (std::set<std::string>{"BA", "MS", "RS", "SP"}));
+
+  // Overlapping operands dedupe by id.
+  auto self_union = a::Union(db_, "big", "big", "big2");
+  ASSERT_TRUE(self_union.ok());
+  EXPECT_EQ((*db_.GetAtomType("big2"))->occurrence().size(), 3u);
+}
+
+TEST_F(AtomAlgebraTest, UnionRequiresIdenticalDescriptions) {
+  EXPECT_EQ(a::Union(db_, "state", "edge").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AtomAlgebraTest, DifferenceAndDerivedIntersection) {
+  ASSERT_TRUE(a::Restrict(db_, "state",
+                          e::Ge(e::Attr("hectare"), e::Lit(int64_t{1000})),
+                          "ge1000")
+                  .ok());  // BA MS SP RS
+  ASSERT_TRUE(a::Restrict(db_, "state",
+                          e::Le(e::Attr("hectare"), e::Lit(int64_t{1100})),
+                          "le1100")
+                  .ok());  // GO MG ES RJ SP PR SC RS MS
+
+  auto diff = a::Difference(db_, "ge1000", "le1100", "only_big");
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  EXPECT_EQ(AtomNames("only_big"), (std::set<std::string>{"BA"}));
+
+  auto inter = a::Intersection(db_, "ge1000", "le1100", "between");
+  ASSERT_TRUE(inter.ok()) << inter.status();
+  EXPECT_EQ(AtomNames("between"), (std::set<std::string>{"MS", "SP", "RS"}));
+}
+
+TEST_F(AtomAlgebraTest, OperationsComposeAndStayClosed) {
+  // Theorem 1: results are regular atom types usable as operands again.
+  ASSERT_TRUE(a::Restrict(db_, "state",
+                          e::Gt(e::Attr("hectare"), e::Lit(int64_t{500})),
+                          "s1")
+                  .ok());
+  ASSERT_TRUE(a::Restrict(db_, "s1",
+                          e::Lt(e::Attr("hectare"), e::Lit(int64_t{1200})),
+                          "s2")
+                  .ok());
+  auto result = a::Project(db_, "s2", {"name"}, "s3");
+  ASSERT_TRUE(result.ok());
+  // 500 < hectare < 1200: GO(900) MS(1100) MG(900) SP(1000) PR(800) RS(1050).
+  EXPECT_EQ(AtomNames("s3"),
+            (std::set<std::string>{"GO", "MS", "MG", "SP", "PR", "RS"}));
+  // s2 inherited s1's inherited link type; the chain stays connected.
+  auto touching = db_.LinkTypesTouching("s2");
+  ASSERT_EQ(touching.size(), 1u);
+  EXPECT_EQ(touching[0]->second_atom_type(), "area");
+}
+
+TEST_F(AtomAlgebraTest, ReflexiveLinkInheritanceOnRestriction) {
+  Schema part;
+  ASSERT_TRUE(part.AddAttribute("pname", DataType::kString).ok());
+  ASSERT_TRUE(part.AddAttribute("cost", DataType::kInt64).ok());
+  ASSERT_TRUE(db_.DefineAtomType("part", std::move(part)).ok());
+  ASSERT_TRUE(db_.DefineLinkType("composition", "part", "part").ok());
+  auto p1 = db_.InsertAtom("part", {Value("engine"), Value(int64_t{500})});
+  auto p2 = db_.InsertAtom("part", {Value("piston"), Value(int64_t{50})});
+  auto p3 = db_.InsertAtom("part", {Value("bolt"), Value(int64_t{1})});
+  ASSERT_TRUE(db_.InsertLink("composition", *p1, *p2).ok());
+  ASSERT_TRUE(db_.InsertLink("composition", *p2, *p3).ok());
+
+  auto result = a::Restrict(db_, "part",
+                            e::Ge(e::Attr("cost"), e::Lit(int64_t{50})),
+                            "pricey");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Reflexive inherits as reflexive on the result, filtered at both ends:
+  // only engine->piston survives (bolt costs 1).
+  ASSERT_EQ(result->inherited_link_types.size(), 1u);
+  const LinkType* lt = *db_.GetLinkType(result->inherited_link_types[0]);
+  EXPECT_TRUE(lt->reflexive());
+  EXPECT_EQ(lt->first_atom_type(), "pricey");
+  EXPECT_EQ(lt->occurrence().size(), 1u);
+  EXPECT_TRUE(lt->occurrence().Contains(*p1, *p2));
+}
+
+TEST_F(AtomAlgebraTest, InheritanceCanBeDisabled) {
+  a::AlgebraOptions options;
+  options.inherit_links = false;
+  auto result = a::Restrict(db_, "state",
+                            e::Gt(e::Attr("hectare"), e::Lit(int64_t{0})),
+                            "copy", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->inherited_link_types.empty());
+  EXPECT_TRUE(db_.LinkTypesTouching("copy").empty());
+}
+
+TEST_F(AtomAlgebraTest, AutoGeneratedResultNamesAreUnique) {
+  auto r1 = a::Restrict(db_, "state",
+                        e::Gt(e::Attr("hectare"), e::Lit(int64_t{0})));
+  auto r2 = a::Restrict(db_, "state",
+                        e::Gt(e::Attr("hectare"), e::Lit(int64_t{0})));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r1->atom_type, r2->atom_type);
+}
+
+TEST_F(AtomAlgebraTest, ScaledGeneratorProducesConsistentNetwork) {
+  Database scaled("SCALED");
+  workload::GeoScale scale;
+  scale.states = 10;
+  scale.rivers = 3;
+  auto stats = workload::GenerateScaledGeo(scaled, scale);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->atoms, 100u);
+  EXPECT_GT(stats->links, 100u);
+  // Determinism: same seed, same shape.
+  Database scaled2("SCALED2");
+  auto stats2 = workload::GenerateScaledGeo(scaled2, scale);
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats->atoms, stats2->atoms);
+  EXPECT_EQ(stats->links, stats2->links);
+}
+
+}  // namespace
+}  // namespace mad

@@ -1,0 +1,228 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+namespace mad {
+namespace {
+
+Schema NamedSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  return s;
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.DefineAtomType("state", NamedSchema()).ok());
+    ASSERT_TRUE(db_.DefineAtomType("area", NamedSchema()).ok());
+    ASSERT_TRUE(db_.DefineLinkType("state-area", "state", "area").ok());
+  }
+
+  Database db_{"GEO_DB"};
+};
+
+TEST_F(DatabaseTest, DefineAtomTypeRejectsDuplicates) {
+  EXPECT_EQ(db_.DefineAtomType("state", NamedSchema()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db_.DefineAtomType("", NamedSchema()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, DefineLinkTypeValidatesAtomTypes) {
+  EXPECT_EQ(db_.DefineLinkType("x", "state", "bogus").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.DefineLinkType("state-area", "state", "area").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(DatabaseTest, ReflexiveLinkTypeAllowed) {
+  ASSERT_TRUE(db_.DefineAtomType("part", NamedSchema()).ok());
+  ASSERT_TRUE(db_.DefineLinkType("composition", "part", "part").ok());
+  auto lt = db_.GetLinkType("composition");
+  ASSERT_TRUE(lt.ok());
+  EXPECT_TRUE((*lt)->reflexive());
+}
+
+TEST_F(DatabaseTest, MultipleLinkTypesBetweenSamePairAllowed) {
+  EXPECT_TRUE(db_.DefineLinkType("state-area-2", "state", "area").ok());
+}
+
+TEST_F(DatabaseTest, InsertAtomAssignsFreshIds) {
+  auto sp = db_.InsertAtom("state", {Value("SP")});
+  auto mg = db_.InsertAtom("state", {Value("MG")});
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(mg.ok());
+  EXPECT_NE(*sp, *mg);
+  EXPECT_TRUE(sp->valid());
+  auto at = db_.GetAtomType("state");
+  ASSERT_TRUE(at.ok());
+  EXPECT_EQ((*at)->occurrence().size(), 2u);
+}
+
+TEST_F(DatabaseTest, InsertAtomValidatesSchema) {
+  EXPECT_FALSE(db_.InsertAtom("state", {Value(int64_t{1})}).ok());
+  EXPECT_FALSE(db_.InsertAtom("state", {}).ok());
+  EXPECT_FALSE(db_.InsertAtom("bogus", {Value("x")}).ok());
+}
+
+TEST_F(DatabaseTest, InsertAtomWithIdPreservesIdentityAcrossTypes) {
+  auto sp = db_.InsertAtom("state", {Value("SP")});
+  ASSERT_TRUE(sp.ok());
+  // The same entity may live in a second atom type (restriction results).
+  ASSERT_TRUE(db_.DefineAtomType("state2", NamedSchema()).ok());
+  ASSERT_TRUE(db_.InsertAtomWithId("state2", *sp, {Value("SP")}).ok());
+  // Fresh ids never collide with preserved ids.
+  auto next = db_.InsertAtom("state2", {Value("MG")});
+  ASSERT_TRUE(next.ok());
+  EXPECT_NE(*next, *sp);
+}
+
+TEST_F(DatabaseTest, LinkReferentialIntegrityOnInsert) {
+  auto sp = db_.InsertAtom("state", {Value("SP")});
+  auto a1 = db_.InsertAtom("area", {Value("a1")});
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(a1.ok());
+
+  EXPECT_TRUE(db_.InsertLink("state-area", *sp, *a1).ok());
+  // Duplicate link rejected.
+  EXPECT_EQ(db_.InsertLink("state-area", *sp, *a1).code(),
+            StatusCode::kAlreadyExists);
+  // Wrong-side atom rejected: a1 is not a state.
+  EXPECT_EQ(db_.InsertLink("state-area", *a1, *sp).code(),
+            StatusCode::kConstraintViolation);
+  // Nonexistent atom rejected.
+  EXPECT_EQ(db_.InsertLink("state-area", AtomId{999}, *a1).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST_F(DatabaseTest, DeleteAtomCascadesLinks) {
+  auto sp = db_.InsertAtom("state", {Value("SP")});
+  auto a1 = db_.InsertAtom("area", {Value("a1")});
+  auto a2 = db_.InsertAtom("area", {Value("a2")});
+  ASSERT_TRUE(db_.InsertLink("state-area", *sp, *a1).ok());
+  ASSERT_TRUE(db_.InsertLink("state-area", *sp, *a2).ok());
+
+  ASSERT_TRUE(db_.DeleteAtom("state", *sp).ok());
+  auto lt = db_.GetLinkType("state-area");
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ((*lt)->occurrence().size(), 0u)
+      << "no dangling links may survive atom deletion";
+  // Areas are untouched.
+  EXPECT_EQ((*db_.GetAtomType("area"))->occurrence().size(), 2u);
+}
+
+TEST_F(DatabaseTest, UpdateAtomReplacesValues) {
+  auto sp = db_.InsertAtom("state", {Value("SP")});
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(db_.UpdateAtom("state", *sp, {Value("Sao Paulo")}).ok());
+  auto v = db_.GetAttribute("state", *sp, "name");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "Sao Paulo");
+  EXPECT_EQ(db_.UpdateAtom("state", AtomId{999}, {Value("x")}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, SymmetricTraversal) {
+  auto sp = db_.InsertAtom("state", {Value("SP")});
+  auto a1 = db_.InsertAtom("area", {Value("a1")});
+  ASSERT_TRUE(db_.InsertLink("state-area", *sp, *a1).ok());
+
+  auto lt = db_.GetLinkType("state-area");
+  ASSERT_TRUE(lt.ok());
+  // Forward: state -> area.
+  auto fwd = (*lt)->occurrence().Partners(*sp, LinkDirection::kForward);
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0], *a1);
+  // Backward: area -> state, exercising the bidirectional link pair.
+  auto bwd = (*lt)->occurrence().Partners(*a1, LinkDirection::kBackward);
+  ASSERT_EQ(bwd.size(), 1u);
+  EXPECT_EQ(bwd[0], *sp);
+}
+
+TEST_F(DatabaseTest, DropAtomTypeDropsTouchingLinkTypes) {
+  ASSERT_TRUE(db_.DropAtomType("area").ok());
+  EXPECT_FALSE(db_.HasLinkType("state-area"));
+  EXPECT_TRUE(db_.HasAtomType("state"));
+  EXPECT_EQ(db_.DropAtomType("area").code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, UniqueNameGeneration) {
+  EXPECT_EQ(db_.UniqueAtomTypeName("border"), "border");
+  ASSERT_TRUE(db_.DefineAtomType("border", NamedSchema()).ok());
+  EXPECT_EQ(db_.UniqueAtomTypeName("border"), "border@2");
+  EXPECT_EQ(db_.UniqueLinkTypeName("state-area"), "state-area@2");
+}
+
+TEST_F(DatabaseTest, Statistics) {
+  ASSERT_TRUE(db_.InsertAtom("state", {Value("SP")}).ok());
+  ASSERT_TRUE(db_.InsertAtom("area", {Value("a1")}).ok());
+  EXPECT_EQ(db_.atom_type_count(), 2u);
+  EXPECT_EQ(db_.link_type_count(), 1u);
+  EXPECT_EQ(db_.total_atom_count(), 2u);
+  EXPECT_EQ(db_.total_link_count(), 0u);
+}
+
+TEST_F(DatabaseTest, TypeListsKeepDefinitionOrder) {
+  auto types = db_.atom_types();
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0]->name(), "state");
+  EXPECT_EQ(types[1]->name(), "area");
+}
+
+TEST_F(DatabaseTest, LinkTypesTouching) {
+  ASSERT_TRUE(db_.DefineAtomType("edge", NamedSchema()).ok());
+  ASSERT_TRUE(db_.DefineLinkType("area-edge", "area", "edge").ok());
+  auto touching = db_.LinkTypesTouching("area");
+  ASSERT_EQ(touching.size(), 2u);
+  EXPECT_EQ(touching[0]->name(), "state-area");
+  EXPECT_EQ(touching[1]->name(), "area-edge");
+  EXPECT_TRUE(db_.LinkTypesTouching("bogus").empty());
+}
+
+TEST(LinkStoreTest, EraseAllOf) {
+  LinkStore store;
+  ASSERT_TRUE(store.Insert(AtomId{1}, AtomId{2}).ok());
+  ASSERT_TRUE(store.Insert(AtomId{1}, AtomId{3}).ok());
+  ASSERT_TRUE(store.Insert(AtomId{4}, AtomId{1}).ok());
+  ASSERT_TRUE(store.Insert(AtomId{4}, AtomId{5}).ok());
+  EXPECT_EQ(store.EraseAllOf(AtomId{1}), 3u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Contains(AtomId{4}, AtomId{5}));
+}
+
+TEST(LinkStoreTest, ReflexiveSelfLinkBothDirections) {
+  LinkStore store;
+  // composition: part#1 (super) contains part#2 (sub).
+  ASSERT_TRUE(store.Insert(AtomId{1}, AtomId{2}).ok());
+  EXPECT_EQ(store.Partners(AtomId{1}, LinkDirection::kForward).size(), 1u);
+  EXPECT_TRUE(store.Partners(AtomId{1}, LinkDirection::kBackward).empty());
+  EXPECT_EQ(store.Partners(AtomId{2}, LinkDirection::kBackward).size(), 1u);
+}
+
+TEST(AtomStoreTest, EraseKeepsOrderAndIndex) {
+  AtomStore store;
+  ASSERT_TRUE(store.Insert(Atom{AtomId{1}, {Value("a")}}).ok());
+  ASSERT_TRUE(store.Insert(Atom{AtomId{2}, {Value("b")}}).ok());
+  ASSERT_TRUE(store.Insert(Atom{AtomId{3}, {Value("c")}}).ok());
+  ASSERT_TRUE(store.Erase(AtomId{2}).ok());
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.atoms()[0].id, AtomId{1});
+  EXPECT_EQ(store.atoms()[1].id, AtomId{3});
+  ASSERT_NE(store.Find(AtomId{3}), nullptr);
+  EXPECT_EQ(store.Find(AtomId{3})->values[0].AsString(), "c");
+  EXPECT_EQ(store.Find(AtomId{2}), nullptr);
+  EXPECT_EQ(store.Erase(AtomId{2}).code(), StatusCode::kNotFound);
+}
+
+TEST(AtomStoreTest, RejectsInvalidAndDuplicateIds) {
+  AtomStore store;
+  EXPECT_EQ(store.Insert(Atom{AtomId::Invalid(), {}}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(store.Insert(Atom{AtomId{1}, {}}).ok());
+  EXPECT_EQ(store.Insert(Atom{AtomId{1}, {}}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace mad

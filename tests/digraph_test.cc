@@ -1,0 +1,182 @@
+#include "util/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace mad {
+namespace {
+
+Digraph Chain() {
+  // state -> area -> edge -> point (the mt_state structure of Fig. 2).
+  Digraph g;
+  g.AddNode("state");
+  g.AddNode("area");
+  g.AddNode("edge");
+  g.AddNode("point");
+  EXPECT_TRUE(g.AddEdge("state-area", "state", "area").ok());
+  EXPECT_TRUE(g.AddEdge("area-edge", "area", "edge").ok());
+  EXPECT_TRUE(g.AddEdge("edge-point", "edge", "point").ok());
+  return g;
+}
+
+Digraph PointNeighborhood() {
+  // point -> edge -> {area -> state, net -> river} (Fig. 2, upper).
+  Digraph g;
+  for (const char* n : {"point", "edge", "area", "net", "state", "river"}) {
+    g.AddNode(n);
+  }
+  EXPECT_TRUE(g.AddEdge("point-edge", "point", "edge").ok());
+  EXPECT_TRUE(g.AddEdge("edge-area", "edge", "area").ok());
+  EXPECT_TRUE(g.AddEdge("edge-net", "edge", "net").ok());
+  EXPECT_TRUE(g.AddEdge("area-state", "area", "state").ok());
+  EXPECT_TRUE(g.AddEdge("net-river", "net", "river").ok());
+  return g;
+}
+
+TEST(DigraphTest, AddNodeRejectsDuplicates) {
+  Digraph g;
+  EXPECT_TRUE(g.AddNode("a"));
+  EXPECT_FALSE(g.AddNode("a"));
+  EXPECT_EQ(g.node_count(), 1u);
+}
+
+TEST(DigraphTest, AddEdgeValidatesEndpoints) {
+  Digraph g;
+  g.AddNode("a");
+  EXPECT_EQ(g.AddEdge("l", "a", "b").code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.AddEdge("l", "b", "a").code(), StatusCode::kNotFound);
+}
+
+TEST(DigraphTest, OutAndInEdges) {
+  Digraph g = PointNeighborhood();
+  auto out = g.OutEdges("edge");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->to, "area");
+  EXPECT_EQ(out[1]->to, "net");
+  auto in = g.InEdges("edge");
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0]->from, "point");
+  EXPECT_TRUE(g.OutEdges("river").empty());
+}
+
+TEST(DigraphTest, ChainIsRootedDag) {
+  Digraph g = Chain();
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_TRUE(g.IsCoherent());
+  auto root = g.CheckRootedDag();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, "state");
+}
+
+TEST(DigraphTest, BranchingIsRootedDag) {
+  Digraph g = PointNeighborhood();
+  auto root = g.CheckRootedDag();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, "point");
+}
+
+TEST(DigraphTest, CycleDetected) {
+  Digraph g;
+  g.AddNode("a");
+  g.AddNode("b");
+  ASSERT_TRUE(g.AddEdge("x", "a", "b").ok());
+  ASSERT_TRUE(g.AddEdge("y", "b", "a").ok());
+  EXPECT_FALSE(g.IsAcyclic());
+  EXPECT_EQ(g.CheckRootedDag().status().code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+}
+
+TEST(DigraphTest, SelfLoopIsCycle) {
+  Digraph g;
+  g.AddNode("part");
+  ASSERT_TRUE(g.AddEdge("composition", "part", "part").ok());
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(DigraphTest, IncoherentGraphDetected) {
+  Digraph g;
+  g.AddNode("a");
+  g.AddNode("b");
+  EXPECT_FALSE(g.IsCoherent());
+  EXPECT_EQ(g.CheckRootedDag().status().code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(DigraphTest, EmptyGraphIsNeitherCoherentNorRooted) {
+  Digraph g;
+  EXPECT_FALSE(g.IsCoherent());
+  EXPECT_EQ(g.CheckRootedDag().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DigraphTest, SingleNodeIsRootedDag) {
+  Digraph g;
+  g.AddNode("only");
+  auto root = g.CheckRootedDag();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, "only");
+}
+
+TEST(DigraphTest, TwoRootsRejected) {
+  Digraph g;
+  g.AddNode("r1");
+  g.AddNode("r2");
+  g.AddNode("leaf");
+  ASSERT_TRUE(g.AddEdge("x", "r1", "leaf").ok());
+  ASSERT_TRUE(g.AddEdge("y", "r2", "leaf").ok());
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_TRUE(g.IsCoherent());
+  EXPECT_EQ(g.Roots().size(), 2u);
+  EXPECT_FALSE(g.CheckRootedDag().ok());
+}
+
+TEST(DigraphTest, TopologicalOrderIsDeterministicAndValid) {
+  Digraph g = PointNeighborhood();
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order->size(), 6u);
+  EXPECT_EQ(order->front(), "point");
+  // Every edge goes forward in the order.
+  auto pos = [&](const std::string& n) {
+    return std::find(order->begin(), order->end(), n) - order->begin();
+  };
+  for (const auto& e : g.edges()) {
+    EXPECT_LT(pos(e.from), pos(e.to)) << e.from << "->" << e.to;
+  }
+}
+
+TEST(DigraphTest, ReachableFrom) {
+  Digraph g = PointNeighborhood();
+  auto from_edge = g.ReachableFrom("edge");
+  EXPECT_EQ(from_edge,
+            (std::set<std::string>{"edge", "area", "net", "state", "river"}));
+  auto from_river = g.ReachableFrom("river");
+  EXPECT_EQ(from_river, std::set<std::string>{"river"});
+  EXPECT_TRUE(g.ReachableFrom("absent").empty());
+}
+
+TEST(DigraphTest, DiamondSharedSubobjectShapeIsValid) {
+  // A DAG where two branches re-join (shared subobject at type level).
+  Digraph g;
+  for (const char* n : {"root", "l", "r", "shared"}) g.AddNode(n);
+  ASSERT_TRUE(g.AddEdge("a", "root", "l").ok());
+  ASSERT_TRUE(g.AddEdge("b", "root", "r").ok());
+  ASSERT_TRUE(g.AddEdge("c", "l", "shared").ok());
+  ASSERT_TRUE(g.AddEdge("d", "r", "shared").ok());
+  auto root = g.CheckRootedDag();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, "root");
+}
+
+TEST(DigraphTest, ParallelEdgesAllowed) {
+  // Two link types between the same pair of atom types (allowed by Def. 2).
+  Digraph g;
+  g.AddNode("a");
+  g.AddNode("b");
+  ASSERT_TRUE(g.AddEdge("l1", "a", "b").ok());
+  ASSERT_TRUE(g.AddEdge("l2", "a", "b").ok());
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.CheckRootedDag().ok());
+}
+
+}  // namespace
+}  // namespace mad

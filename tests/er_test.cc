@@ -1,0 +1,94 @@
+#include "er/er_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mad {
+namespace {
+
+TEST(ErSchemaTest, Validation) {
+  er::ErSchema er;
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  ASSERT_TRUE(er.AddEntityType("a", s).ok());
+  EXPECT_EQ(er.AddEntityType("a", s).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(er.AddEntityType("", s).code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(er.AddEntityType("b", s).ok());
+  ASSERT_TRUE(
+      er.AddRelationshipType("r", "a", "b", er::Cardinality::kOneToMany).ok());
+  EXPECT_EQ(
+      er.AddRelationshipType("r", "a", "b", er::Cardinality::kOneToMany).code(),
+      StatusCode::kAlreadyExists);
+  EXPECT_EQ(er.AddRelationshipType("r2", "a", "missing",
+                                   er::Cardinality::kOneToMany)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ErMappingTest, OneToOneMappingToMad) {
+  // Ch. 2: entity type -> atom type, relationship type -> link type,
+  // exactly one-to-one, no auxiliary structures.
+  er::ErSchema er = er::Figure1ErSchema();
+  Database db("GEO_FROM_ER");
+  ASSERT_TRUE(er::MapToMad(er, db).ok());
+  EXPECT_EQ(db.atom_type_count(), er.entity_types().size());
+  EXPECT_EQ(db.link_type_count(), er.relationship_types().size());
+  // Every relationship became a link type with matching endpoints.
+  for (const er::RelationshipType& rel : er.relationship_types()) {
+    auto lt = db.GetLinkType(rel.name);
+    ASSERT_TRUE(lt.ok()) << rel.name;
+    EXPECT_EQ((*lt)->first_atom_type(), rel.left);
+    EXPECT_EQ((*lt)->second_atom_type(), rel.right);
+  }
+}
+
+TEST(ErMappingTest, RelationalMappingNeedsAuxiliaryStructures) {
+  er::ErSchema er = er::Figure1ErSchema();
+  auto rdb = er::MapToRelational(er);
+  ASSERT_TRUE(rdb.ok()) << rdb.status();
+
+  // 7 entity relations + 3 auxiliary relations for the n:m relationships.
+  EXPECT_EQ(rdb->relation_count(), 10u);
+  EXPECT_TRUE(rdb->Has("area-edge"));
+  EXPECT_TRUE(rdb->Has("net-edge"));
+  EXPECT_TRUE(rdb->Has("edge-point"));
+  // 1:1 relationships became foreign-key columns on the right-hand side.
+  auto area = rdb->Get("area");
+  ASSERT_TRUE(area.ok());
+  EXPECT_TRUE((*area)->schema().HasAttribute("_state-area_ref"));
+  auto point = rdb->Get("point");
+  ASSERT_TRUE(point.ok());
+  EXPECT_TRUE((*point)->schema().HasAttribute("_city-point_ref"));
+}
+
+TEST(ErMappingTest, CompareMappingsQuantifiesTheClaim) {
+  er::ErSchema er = er::Figure1ErSchema();
+  auto report = er::CompareMappings(er);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->er_entity_types, 7u);
+  EXPECT_EQ(report->er_relationship_types, 6u);
+  // MAD: strictly one-to-one.
+  EXPECT_EQ(report->mad_atom_types, report->er_entity_types);
+  EXPECT_EQ(report->mad_link_types, report->er_relationship_types);
+  // Relational: extra relations and columns appear.
+  EXPECT_EQ(report->rel_auxiliary_relations, 3u);
+  EXPECT_EQ(report->rel_foreign_key_columns, 3u);
+  EXPECT_EQ(report->rel_relations,
+            report->er_entity_types + report->rel_auxiliary_relations);
+}
+
+TEST(ErMappingTest, MappedMadDatabaseIsUsable) {
+  // The ER-derived MAD schema accepts the Figure-4 style data flow.
+  er::ErSchema er = er::Figure1ErSchema();
+  Database db("GEO_FROM_ER");
+  ASSERT_TRUE(er::MapToMad(er, db).ok());
+  auto sp = db.InsertAtom("state", {Value("SP"), Value(int64_t{1000})});
+  auto a1 = db.InsertAtom("area", {Value("a1"), Value(int64_t{1000})});
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(a1.ok());
+  EXPECT_TRUE(db.InsertLink("state-area", *sp, *a1).ok());
+}
+
+}  // namespace
+}  // namespace mad

@@ -1,0 +1,214 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+
+namespace mad {
+namespace e = expr;
+namespace {
+
+Schema StateSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  EXPECT_TRUE(s.AddAttribute("hectare", DataType::kInt64).ok());
+  EXPECT_TRUE(s.AddAttribute("coastal", DataType::kBool).ok());
+  return s;
+}
+
+Atom SpAtom() {
+  return Atom{AtomId{1},
+              {Value("SP"), Value(int64_t{1000}), Value(true)}};
+}
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  ExprEvalTest() : schema_(StateSchema()), atom_(SpAtom()) {
+    bindings_.Bind("state", &schema_, &atom_);
+  }
+
+  Result<bool> Eval(const e::ExprPtr& expr) {
+    return e::EvalPredicate(*expr, bindings_);
+  }
+  Result<Value> EvalV(const e::ExprPtr& expr) {
+    return e::EvalValue(*expr, bindings_);
+  }
+
+  Schema schema_;
+  Atom atom_;
+  e::BindingSet bindings_;
+};
+
+TEST_F(ExprEvalTest, LiteralAndAttrRef) {
+  auto v = EvalV(e::Lit(int64_t{7}));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 7);
+
+  auto name = EvalV(e::Attr("state", "name"));
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->AsString(), "SP");
+
+  // Unqualified resolution.
+  auto hectare = EvalV(e::Attr("hectare"));
+  ASSERT_TRUE(hectare.ok());
+  EXPECT_EQ(hectare->AsInt64(), 1000);
+}
+
+TEST_F(ExprEvalTest, UnknownReferencesFail) {
+  EXPECT_FALSE(EvalV(e::Attr("state", "bogus")).ok());
+  EXPECT_FALSE(EvalV(e::Attr("bogus", "name")).ok());
+  EXPECT_FALSE(EvalV(e::Attr("bogus")).ok());
+}
+
+TEST_F(ExprEvalTest, Comparisons) {
+  EXPECT_TRUE(*Eval(e::Eq(e::Attr("name"), e::Lit("SP"))));
+  EXPECT_FALSE(*Eval(e::Eq(e::Attr("name"), e::Lit("MG"))));
+  EXPECT_TRUE(*Eval(e::Ne(e::Attr("name"), e::Lit("MG"))));
+  EXPECT_FALSE(*Eval(e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000}))));
+  EXPECT_TRUE(*Eval(e::Ge(e::Attr("hectare"), e::Lit(int64_t{1000}))));
+  EXPECT_TRUE(*Eval(e::Lt(e::Attr("hectare"), e::Lit(int64_t{1001}))));
+  EXPECT_TRUE(*Eval(e::Le(e::Attr("hectare"), e::Lit(int64_t{1000}))));
+}
+
+TEST_F(ExprEvalTest, NumericCrossTypeComparison) {
+  EXPECT_TRUE(*Eval(e::Eq(e::Attr("hectare"), e::Lit(1000.0))));
+  EXPECT_TRUE(*Eval(e::Lt(e::Attr("hectare"), e::Lit(1000.5))));
+}
+
+TEST_F(ExprEvalTest, IncomparableTypesError) {
+  EXPECT_FALSE(Eval(e::Eq(e::Attr("name"), e::Lit(int64_t{3}))).ok());
+  EXPECT_FALSE(Eval(e::Eq(e::Attr("coastal"), e::Lit("x"))).ok());
+}
+
+TEST_F(ExprEvalTest, BooleanConnectives) {
+  auto t = e::Eq(e::Attr("name"), e::Lit("SP"));
+  auto f = e::Eq(e::Attr("name"), e::Lit("MG"));
+  EXPECT_TRUE(*Eval(e::And(t, t)));
+  EXPECT_FALSE(*Eval(e::And(t, f)));
+  EXPECT_TRUE(*Eval(e::Or(f, t)));
+  EXPECT_FALSE(*Eval(e::Or(f, f)));
+  EXPECT_TRUE(*Eval(e::Not(f)));
+  EXPECT_FALSE(*Eval(e::Not(t)));
+}
+
+TEST_F(ExprEvalTest, ShortCircuit) {
+  // Right side would error (type mismatch), but short-circuiting skips it.
+  auto t = e::Eq(e::Attr("name"), e::Lit("SP"));
+  auto f = e::Eq(e::Attr("name"), e::Lit("MG"));
+  auto bad = e::Eq(e::Attr("name"), e::Lit(int64_t{1}));
+  EXPECT_TRUE(*Eval(e::Or(t, bad)));
+  EXPECT_FALSE(*Eval(e::And(f, bad)));
+  // Without short-circuit, it surfaces.
+  EXPECT_FALSE(Eval(e::And(t, bad)).ok());
+}
+
+TEST_F(ExprEvalTest, BoolAttributeAsPredicate) {
+  EXPECT_TRUE(*Eval(e::Attr("coastal")));
+  EXPECT_TRUE(*Eval(e::Lit(true)));
+}
+
+TEST_F(ExprEvalTest, NonBooleanPredicateRejected) {
+  EXPECT_FALSE(Eval(e::Attr("hectare")).ok());
+  EXPECT_FALSE(Eval(e::Lit(int64_t{1})).ok());
+}
+
+TEST_F(ExprEvalTest, Arithmetic) {
+  auto v = EvalV(e::Add(e::Attr("hectare"), e::Lit(int64_t{24})));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 1024);
+
+  v = EvalV(e::Mul(e::Lit(int64_t{3}), e::Lit(int64_t{4})));
+  EXPECT_EQ(v->AsInt64(), 12);
+
+  v = EvalV(e::Sub(e::Lit(int64_t{3}), e::Lit(int64_t{4})));
+  EXPECT_EQ(v->AsInt64(), -1);
+
+  v = EvalV(e::Div(e::Lit(int64_t{7}), e::Lit(int64_t{2})));
+  EXPECT_EQ(v->AsInt64(), 3);  // Integer division.
+
+  v = EvalV(e::Div(e::Lit(7.0), e::Lit(int64_t{2})));
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 3.5);  // Mixed promotes to double.
+
+  EXPECT_FALSE(EvalV(e::Div(e::Lit(int64_t{1}), e::Lit(int64_t{0}))).ok());
+  EXPECT_FALSE(EvalV(e::Div(e::Lit(1.0), e::Lit(0.0))).ok());
+  EXPECT_FALSE(EvalV(e::Add(e::Attr("name"), e::Lit(int64_t{1}))).ok());
+}
+
+TEST_F(ExprEvalTest, ArithmeticInsideComparison) {
+  // hectare * 2 > 1500
+  auto pred = e::Gt(e::Mul(e::Attr("hectare"), e::Lit(int64_t{2})),
+                    e::Lit(int64_t{1500}));
+  EXPECT_TRUE(*Eval(pred));
+}
+
+TEST(ExprTest, ToString) {
+  auto pred = e::And(e::Eq(e::Attr("point", "name"), e::Lit("pn")),
+                     e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000})));
+  EXPECT_EQ(pred->ToString(),
+            "((point.name = 'pn') AND (hectare > 1000))");
+  EXPECT_EQ(e::Not(e::Lit(false))->ToString(), "(NOT FALSE)");
+  EXPECT_EQ(e::Div(e::Lit(1.5), e::Lit(int64_t{2}))->ToString(), "(1.5 / 2)");
+}
+
+TEST(ExprTest, CollectAttrRefs) {
+  auto pred = e::Or(e::Eq(e::Attr("a", "x"), e::Attr("b", "y")),
+                    e::Lt(e::Attr("z"), e::Lit(int64_t{1})));
+  std::vector<const e::Expr*> refs;
+  pred->CollectAttrRefs(&refs);
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0]->qualifier(), "a");
+  EXPECT_EQ(refs[1]->qualifier(), "b");
+  EXPECT_EQ(refs[2]->attribute(), "z");
+}
+
+TEST(ExprTest, ValidateAgainstSchema) {
+  Schema schema = StateSchema();
+  auto good = e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{10}));
+  EXPECT_TRUE(e::ValidateAgainstSchema(*good, "state", schema).ok());
+
+  auto wrong_qual = e::Gt(e::Attr("river", "hectare"), e::Lit(int64_t{10}));
+  EXPECT_EQ(e::ValidateAgainstSchema(*wrong_qual, "state", schema).code(),
+            StatusCode::kInvalidArgument);
+
+  auto wrong_attr = e::Gt(e::Attr("bogus"), e::Lit(int64_t{10}));
+  EXPECT_EQ(e::ValidateAgainstSchema(*wrong_attr, "state", schema).code(),
+            StatusCode::kNotFound);
+
+  auto not_pred = e::Add(e::Attr("hectare"), e::Lit(int64_t{1}));
+  EXPECT_EQ(e::ValidateAgainstSchema(*not_pred, "state", schema).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExprTest, MultiBindingResolution) {
+  Schema state = StateSchema();
+  Schema river;
+  ASSERT_TRUE(river.AddAttribute("name", DataType::kString).ok());
+  ASSERT_TRUE(river.AddAttribute("length", DataType::kInt64).ok());
+  Atom sp = SpAtom();
+  Atom parana{AtomId{2}, {Value("Parana"), Value(int64_t{4880})}};
+
+  e::BindingSet bindings;
+  bindings.Bind("state", &state, &sp);
+  bindings.Bind("river", &river, &parana);
+
+  // Qualified references disambiguate.
+  auto v = e::EvalValue(*e::Attr("river", "name"), bindings);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "Parana");
+
+  // Unqualified 'name' is ambiguous across the two bindings.
+  EXPECT_EQ(e::EvalValue(*e::Attr("name"), bindings).status().code(),
+            StatusCode::kInvalidArgument);
+  // Unqualified 'length' is unique.
+  v = e::EvalValue(*e::Attr("length"), bindings);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 4880);
+  // Cross-binding comparison.
+  auto cross = e::Gt(e::Attr("river", "length"), e::Attr("state", "hectare"));
+  auto b = e::EvalPredicate(*cross, bindings);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*b);
+}
+
+}  // namespace
+}  // namespace mad

@@ -1,0 +1,146 @@
+#include "storage/index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algebra/atom_algebra.h"
+#include "expr/expr.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace e = expr;
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = workload::BuildFigure4GeoDatabase(db_);
+    ASSERT_TRUE(ids.ok()) << ids.status();
+    ids_ = *ids;
+  }
+
+  Database db_{"GEO_DB"};
+  workload::GeoIds ids_;
+};
+
+TEST_F(IndexTest, CreateAndLookup) {
+  ASSERT_TRUE(db_.CreateIndex("state", "name").ok());
+  const AttributeIndex* index = db_.FindIndex("state", "name");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->entry_count(), 10u);
+  EXPECT_EQ(index->distinct_values(), 10u);
+
+  const auto& hits = index->Lookup(Value("SP"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], ids_.states["SP"]);
+  EXPECT_TRUE(index->Lookup(Value("XX")).empty());
+}
+
+TEST_F(IndexTest, CreateValidatesArguments) {
+  EXPECT_EQ(db_.CreateIndex("bogus", "name").code(), StatusCode::kNotFound);
+  EXPECT_EQ(db_.CreateIndex("state", "bogus").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(db_.CreateIndex("state", "name").ok());
+  EXPECT_EQ(db_.CreateIndex("state", "name").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(IndexTest, DropIndex) {
+  ASSERT_TRUE(db_.CreateIndex("state", "name").ok());
+  ASSERT_TRUE(db_.DropIndex("state", "name").ok());
+  EXPECT_EQ(db_.FindIndex("state", "name"), nullptr);
+  EXPECT_EQ(db_.DropIndex("state", "name").code(), StatusCode::kNotFound);
+}
+
+TEST_F(IndexTest, MaintainedAcrossInsertUpdateDelete) {
+  ASSERT_TRUE(db_.CreateIndex("state", "hectare").ok());
+  const AttributeIndex* index = db_.FindIndex("state", "hectare");
+
+  // 900 occurs twice in the fixture (GO, MG).
+  EXPECT_EQ(index->Lookup(Value(int64_t{900})).size(), 2u);
+
+  auto id = db_.InsertAtom("state", {Value("XX"), Value(int64_t{900})});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(index->Lookup(Value(int64_t{900})).size(), 3u);
+
+  ASSERT_TRUE(db_.UpdateAtom("state", *id, {Value("XX"), Value(int64_t{1})}).ok());
+  EXPECT_EQ(index->Lookup(Value(int64_t{900})).size(), 2u);
+  EXPECT_EQ(index->Lookup(Value(int64_t{1})).size(), 1u);
+
+  ASSERT_TRUE(db_.DeleteAtom("state", *id).ok());
+  EXPECT_TRUE(index->Lookup(Value(int64_t{1})).empty());
+  EXPECT_EQ(index->entry_count(), 10u);
+}
+
+TEST_F(IndexTest, DroppedWithAtomType) {
+  ASSERT_TRUE(db_.CreateIndex("net", "name").ok());
+  ASSERT_TRUE(db_.DropAtomType("net").ok());
+  EXPECT_EQ(db_.FindIndex("net", "name"), nullptr);
+}
+
+TEST_F(IndexTest, LookupByAttributeWithAndWithoutIndex) {
+  // Scan path.
+  auto scan = db_.LookupByAttribute("state", "name", Value("SP"));
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 1u);
+  EXPECT_EQ((*scan)[0], ids_.states["SP"]);
+
+  // Indexed path returns the same atoms.
+  ASSERT_TRUE(db_.CreateIndex("state", "name").ok());
+  auto indexed = db_.LookupByAttribute("state", "name", Value("SP"));
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(*indexed, *scan);
+
+  EXPECT_FALSE(db_.LookupByAttribute("state", "bogus", Value("SP")).ok());
+}
+
+TEST_F(IndexTest, IndexedRestrictMatchesScanRestrict) {
+  auto scan = algebra::Restrict(
+      db_, "state", e::Eq(e::Attr("name"), e::Lit("SP")), "scan_result");
+  ASSERT_TRUE(scan.ok());
+
+  ASSERT_TRUE(db_.CreateIndex("state", "name").ok());
+  auto indexed = algebra::Restrict(
+      db_, "state", e::Eq(e::Attr("name"), e::Lit("SP")), "indexed_result");
+  ASSERT_TRUE(indexed.ok());
+
+  auto scan_at = db_.GetAtomType("scan_result");
+  auto indexed_at = db_.GetAtomType("indexed_result");
+  ASSERT_TRUE(scan_at.ok());
+  ASSERT_TRUE(indexed_at.ok());
+  EXPECT_EQ((*scan_at)->occurrence().size(), 1u);
+  EXPECT_EQ((*indexed_at)->occurrence().size(), 1u);
+  EXPECT_TRUE((*indexed_at)->occurrence().Contains(ids_.states["SP"]));
+  // Link inheritance is identical in both paths.
+  EXPECT_EQ(db_.LinkTypesTouching("scan_result").size(),
+            db_.LinkTypesTouching("indexed_result").size());
+}
+
+TEST_F(IndexTest, ReversedLiteralPatternAlsoIndexed) {
+  ASSERT_TRUE(db_.CreateIndex("state", "name").ok());
+  auto result = algebra::Restrict(
+      db_, "state", e::Eq(e::Lit("MG"), e::Attr("state", "name")), "mg");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*db_.GetAtomType("mg"))->occurrence().size(), 1u);
+}
+
+TEST_F(IndexTest, NonEqualityPredicatesStillScan) {
+  ASSERT_TRUE(db_.CreateIndex("state", "hectare").ok());
+  auto result = algebra::Restrict(
+      db_, "state", e::Gt(e::Attr("hectare"), e::Lit(int64_t{1000})), "big");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*db_.GetAtomType("big"))->occurrence().size(), 3u);
+}
+
+TEST_F(IndexTest, NumericEqualityAcrossTypes) {
+  ASSERT_TRUE(db_.CreateIndex("state", "hectare").ok());
+  // 1000 as a double must hit the int64 1000 bucket (Value hashing is
+  // numeric-consistent).
+  auto hits = db_.LookupByAttribute("state", "hectare", Value(1000.0));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], ids_.states["SP"]);
+}
+
+}  // namespace
+}  // namespace mad

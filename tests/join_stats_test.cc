@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algebra/atom_algebra.h"
+#include "expr/expr.h"
+#include "molecule/derivation.h"
+#include "molecule/statistics.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace e = expr;
+namespace {
+
+class JoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = workload::BuildFigure4GeoDatabase(db_);
+    ASSERT_TRUE(ids.ok());
+    ids_ = *ids;
+    // Disjoint operand schemas for joining state with area.
+    ASSERT_TRUE(algebra::Rename(db_, "area",
+                                {{"name", "aname"}, {"hectare", "ahectare"}},
+                                "area_r")
+                    .ok());
+  }
+
+  Database db_{"GEO_DB"};
+  workload::GeoIds ids_;
+};
+
+TEST_F(JoinTest, ThetaJoinEqualsRestrictedProduct) {
+  auto pred = e::Eq(e::Attr("state", "hectare"), e::Attr("area_r", "ahectare"));
+  auto joined = algebra::Join(db_, "state", "area_r", pred, "joined");
+  ASSERT_TRUE(joined.ok()) << joined.status();
+
+  // Reference result through × then σ.
+  auto product = algebra::CartesianProduct(db_, "state", "area_r", "product");
+  ASSERT_TRUE(product.ok());
+  auto restricted = algebra::Restrict(
+      db_, "product", e::Eq(e::Attr("hectare"), e::Attr("ahectare")),
+      "restricted");
+  ASSERT_TRUE(restricted.ok());
+
+  EXPECT_EQ((*db_.GetAtomType("joined"))->occurrence().size(),
+            (*db_.GetAtomType("restricted"))->occurrence().size());
+  EXPECT_EQ((*db_.GetAtomType("joined"))->description(),
+            (*db_.GetAtomType("restricted"))->description());
+  // hectare values pair up: 900 x 900 twice on each side etc.
+  // (10 states, areas copy hectares; duplicates 900/900 give 2x2, plus the
+  // unique ones 1x1 each.)
+  EXPECT_EQ((*db_.GetAtomType("joined"))->occurrence().size(), 12u);
+}
+
+TEST_F(JoinTest, JoinInheritsComponentLinks) {
+  auto pred = e::Eq(e::Attr("hectare"), e::Attr("ahectare"));
+  auto joined = algebra::Join(db_, "state", "area_r", pred, "j2");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_FALSE(joined->inherited_link_types.empty());
+  // Some inherited link type connects the join result back to the network.
+  bool connects = false;
+  for (const std::string& lname : joined->inherited_link_types) {
+    const LinkType* lt = *db_.GetLinkType(lname);
+    if (lt->Touches("j2") && lt->occurrence().size() > 0) connects = true;
+  }
+  EXPECT_TRUE(connects);
+}
+
+TEST_F(JoinTest, JoinValidation) {
+  auto pred = e::Eq(e::Attr("hectare"), e::Attr("ahectare"));
+  EXPECT_FALSE(algebra::Join(db_, "state", "state", pred).ok());
+  EXPECT_FALSE(algebra::Join(db_, "state", "area_r", nullptr).ok());
+  EXPECT_FALSE(algebra::Join(db_, "state", "area_r",
+                             e::Eq(e::Attr("bogus"), e::Lit(int64_t{1})))
+                   .ok());
+  EXPECT_FALSE(algebra::Join(db_, "state", "area_r",
+                             e::Eq(e::Attr("river", "name"), e::Lit("x")))
+                   .ok());
+  EXPECT_FALSE(algebra::Join(db_, "state", "area_r",
+                             e::Add(e::Attr("hectare"), e::Lit(int64_t{1})))
+                   .ok());
+  // Overlapping schemas rejected (area has 'name'/'hectare' like state).
+  EXPECT_FALSE(algebra::Join(db_, "state", "area", pred).ok());
+}
+
+TEST(StatsTest, Figure4MtStateStatistics) {
+  Database db("GEO_DB");
+  auto ids = workload::BuildFigure4GeoDatabase(db);
+  ASSERT_TRUE(ids.ok());
+  auto md = MoleculeDescription::CreateFromTypes(
+      db, {"state", "area", "edge", "point"},
+      {{"state-area", "state", "area", false},
+       {"area-edge", "area", "edge", false},
+       {"edge-point", "edge", "point", false}});
+  ASSERT_TRUE(md.ok());
+  auto mt = DefineMoleculeType(db, "mt_state", *md);
+  ASSERT_TRUE(mt.ok());
+
+  MoleculeTypeStats stats = ComputeMoleculeTypeStats(*mt);
+  EXPECT_EQ(stats.molecule_count, 10u);
+  EXPECT_GE(stats.max_atoms, stats.min_atoms);
+  EXPECT_GT(stats.avg_atoms, 0.0);
+  // The fixture shares points between state molecules: sharing factor > 1.
+  EXPECT_GT(stats.sharing_factor(), 1.0);
+  EXPECT_GT(stats.total_atom_slots, stats.distinct_atoms);
+
+  ASSERT_EQ(stats.nodes.size(), 4u);
+  EXPECT_EQ(stats.nodes[0].label, "state");
+  EXPECT_EQ(stats.nodes[0].min_atoms, 1u);
+  EXPECT_EQ(stats.nodes[0].max_atoms, 1u);
+  EXPECT_EQ(stats.nodes[0].distinct_atoms, 10u);
+  // Points are the shared node: slots exceed distinct atoms.
+  const NodeStats& points = stats.nodes[3];
+  EXPECT_EQ(points.label, "point");
+  EXPECT_GT(points.total_slots, points.distinct_atoms);
+
+  std::string text = FormatMoleculeTypeStats(stats);
+  EXPECT_NE(text.find("sharing factor"), std::string::npos);
+  EXPECT_NE(text.find("point:"), std::string::npos);
+}
+
+TEST(StatsTest, EmptyMoleculeType) {
+  Database db("GEO_DB");
+  ASSERT_TRUE(workload::BuildFigure4GeoDatabase(db).ok());
+  auto md = MoleculeDescription::CreateFromTypes(db, {"city"}, {});
+  ASSERT_TRUE(md.ok());
+  // Restrict away everything by deleting cities first.
+  for (const Atom& atom :
+       std::vector<Atom>((*db.GetAtomType("city"))->occurrence().atoms())) {
+    ASSERT_TRUE(db.DeleteAtom("city", atom.id).ok());
+  }
+  auto mt = DefineMoleculeType(db, "none", *md);
+  ASSERT_TRUE(mt.ok());
+  MoleculeTypeStats stats = ComputeMoleculeTypeStats(*mt);
+  EXPECT_EQ(stats.molecule_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.sharing_factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace mad

@@ -1,0 +1,143 @@
+#include "relational/nf2_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "molecule/derivation.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace {
+
+/// Flat staff relation used for nest/unnest laws.
+rel::Relation Staff() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("dept", DataType::kString).ok());
+  EXPECT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  EXPECT_TRUE(s.AddAttribute("salary", DataType::kInt64).ok());
+  rel::Relation r(std::move(s));
+  EXPECT_TRUE(r.Insert({Value("eng"), Value("ada"), Value(int64_t{120})}).ok());
+  EXPECT_TRUE(r.Insert({Value("eng"), Value("bob"), Value(int64_t{100})}).ok());
+  EXPECT_TRUE(r.Insert({Value("ops"), Value("cyd"), Value(int64_t{90})}).ok());
+  return r;
+}
+
+TEST(Nf2AlgebraTest, NestGroupsByRemainingAttributes) {
+  auto nested = nf2::FromRelation(Staff());
+  ASSERT_TRUE(nested.ok());
+  auto by_dept = nf2::Nest(*nested, {"name", "salary"}, "people");
+  ASSERT_TRUE(by_dept.ok()) << by_dept.status();
+  EXPECT_EQ(by_dept->size(), 2u);  // eng, ops
+  EXPECT_EQ(by_dept->schema().ToString(),
+            "(dept: STRING, people: (name: STRING, salary: INT64))");
+  // The eng group holds two people.
+  for (const auto& tuple : by_dept->tuples()) {
+    size_t expected = tuple[0].atomic.AsString() == "eng" ? 2u : 1u;
+    EXPECT_EQ(tuple[1].nested->size(), expected);
+  }
+}
+
+TEST(Nf2AlgebraTest, NestValidation) {
+  auto nested = nf2::FromRelation(Staff());
+  ASSERT_TRUE(nested.ok());
+  EXPECT_FALSE(nf2::Nest(*nested, {}, "x").ok());
+  EXPECT_FALSE(nf2::Nest(*nested, {"bogus"}, "x").ok());
+  EXPECT_FALSE(nf2::Nest(*nested, {"name", "name"}, "x").ok());
+  EXPECT_FALSE(nf2::Nest(*nested, {"dept", "name", "salary"}, "x").ok())
+      << "nest must keep at least one grouping attribute";
+  EXPECT_FALSE(nf2::Nest(*nested, {"name"}, "dept").ok())
+      << "result attribute name collision";
+}
+
+TEST(Nf2AlgebraTest, UnnestInvertsNest) {
+  // μ_people(ν_people(r)) == r — the classical law (holds because nest
+  // never creates empty groups).
+  auto nested = nf2::FromRelation(Staff());
+  ASSERT_TRUE(nested.ok());
+  auto by_dept = nf2::Nest(*nested, {"name", "salary"}, "people");
+  ASSERT_TRUE(by_dept.ok());
+  auto back = nf2::Unnest(*by_dept, "people");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(nf2::Nf2Equal(*nested, *back));
+}
+
+TEST(Nf2AlgebraTest, UnnestValidation) {
+  auto nested = nf2::FromRelation(Staff());
+  ASSERT_TRUE(nested.ok());
+  EXPECT_FALSE(nf2::Unnest(*nested, "name").ok());  // atomic
+  EXPECT_FALSE(nf2::Unnest(*nested, "bogus").ok());
+}
+
+TEST(Nf2AlgebraTest, UnnestDropsEmptyGroups) {
+  // A molecule-type conversion can legitimately contain empty nested
+  // relations (a state without edges); unnest drops those tuples.
+  Database db("GEO_DB");
+  ASSERT_TRUE(workload::BuildFigure4GeoDatabase(db).ok());
+  auto xx = db.InsertAtom("state", {Value("XX"), Value(int64_t{1})});
+  ASSERT_TRUE(xx.ok());  // a state with no area
+  auto md = MoleculeDescription::CreateFromTypes(
+      db, {"state", "area"}, {{"state-area", "state", "area", false}});
+  ASSERT_TRUE(md.ok());
+  auto mt = DefineMoleculeType(db, "sa", *md);
+  ASSERT_TRUE(mt.ok());
+  auto nested = nf2::MoleculeTypeToNf2(db, *mt);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->size(), 11u);
+  auto unnested = nf2::Unnest(*nested, "area");
+  ASSERT_TRUE(unnested.ok());
+  EXPECT_EQ(unnested->size(), 10u) << "XX has no area and must vanish";
+}
+
+TEST(Nf2AlgebraTest, FlattenMoleculeTypeToFirstNormalForm) {
+  // The full degeneration chain of Ch. 5: molecules -> NF² -> 1NF.
+  Database db("GEO_DB");
+  ASSERT_TRUE(workload::BuildFigure4GeoDatabase(db).ok());
+  auto md = MoleculeDescription::CreateFromTypes(
+      db, {"state", "area", "edge"},
+      {{"state-area", "state", "area", false},
+       {"area-edge", "area", "edge", false}});
+  ASSERT_TRUE(md.ok());
+  auto mt = DefineMoleculeType(db, "sae", *md);
+  ASSERT_TRUE(mt.ok());
+  auto nested = nf2::MoleculeTypeToNf2(db, *mt);
+  ASSERT_TRUE(nested.ok());
+
+  auto flat = nf2::Flatten(*nested);
+  ASSERT_TRUE(flat.ok()) << flat.status();
+  // One row per (state, area, edge) path; PR's area a8 has two edges, one
+  // state (XX-free fixture) has one each, so: 11 area-edge pairs.
+  EXPECT_EQ(flat->size(), 11u);
+  EXPECT_TRUE(flat->schema().HasAttribute("name"));
+  EXPECT_TRUE(flat->schema().HasAttribute("area.name"));
+  EXPECT_TRUE(flat->schema().HasAttribute("area.edge.name"));
+}
+
+TEST(Nf2AlgebraTest, FlattenDetectsNameCollisions) {
+  // Two nesting paths producing the same flattened name must error, not
+  // silently merge.
+  auto inner = std::make_shared<nf2::Nf2Schema>();
+  inner->AddAtomic("x", DataType::kInt64);
+  auto schema = std::make_shared<nf2::Nf2Schema>();
+  schema->AddAtomic("n.x", DataType::kInt64);
+  schema->AddNested("n", inner);
+  nf2::NestedRelation r(schema);
+  EXPECT_FALSE(nf2::Flatten(r).ok());
+}
+
+TEST(Nf2AlgebraTest, NestedNestIsExpressible) {
+  // ν can be applied repeatedly, producing two nesting levels.
+  auto nested = nf2::FromRelation(Staff());
+  ASSERT_TRUE(nested.ok());
+  auto level1 = nf2::Nest(*nested, {"salary"}, "pay");
+  ASSERT_TRUE(level1.ok());
+  auto level2 = nf2::Nest(*level1, {"name", "pay"}, "people");
+  ASSERT_TRUE(level2.ok()) << level2.status();
+  EXPECT_EQ(level2->schema().ToString(),
+            "(dept: STRING, people: (name: STRING, pay: (salary: INT64)))");
+  // Round trip down to 1NF again.
+  auto flat = nf2::Flatten(*level2);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->size(), 3u);
+}
+
+}  // namespace
+}  // namespace mad

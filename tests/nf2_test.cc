@@ -1,0 +1,154 @@
+#include "relational/nf2.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "molecule/derivation.h"
+#include "molecule/operations.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace {
+
+class Nf2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = workload::BuildFigure4GeoDatabase(db_);
+    ASSERT_TRUE(ids.ok()) << ids.status();
+    ids_ = *ids;
+  }
+
+  MoleculeType MtState() {
+    auto md = MoleculeDescription::CreateFromTypes(
+        db_, {"state", "area", "edge", "point"},
+        {{"state-area", "state", "area", false},
+         {"area-edge", "area", "edge", false},
+         {"edge-point", "edge", "point", false}});
+    EXPECT_TRUE(md.ok());
+    auto mt = DefineMoleculeType(db_, "mt_state", *md);
+    EXPECT_TRUE(mt.ok());
+    return *std::move(mt);
+  }
+
+  Database db_{"GEO_DB"};
+  workload::GeoIds ids_;
+};
+
+TEST_F(Nf2Test, HierarchicalMoleculeTypeConverts) {
+  MoleculeType mt = MtState();
+  nf2::Nf2ConversionStats stats;
+  auto nested = nf2::MoleculeTypeToNf2(db_, mt, {}, &stats);
+  ASSERT_TRUE(nested.ok()) << nested.status();
+
+  EXPECT_EQ(nested->size(), 10u);  // one tuple per state molecule
+  // Schema: state attributes + one relation-valued attribute per child.
+  EXPECT_EQ(nested->schema().ToString(),
+            "(name: STRING, hectare: INT64, area: (name: STRING, hectare: "
+            "INT64, edge: (name: STRING, point: (name: STRING, x: DOUBLE, "
+            "y: DOUBLE))))");
+}
+
+TEST_F(Nf2Test, SharedSubobjectsAreDuplicated) {
+  // Point 'pn' belongs to 4 state molecules: NF²'s strict hierarchy must
+  // duplicate it — the paper's Ch. 5 argument, quantified.
+  MoleculeType mt = MtState();
+  nf2::Nf2ConversionStats stats;
+  auto nested = nf2::MoleculeTypeToNf2(db_, mt, {}, &stats);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_GT(stats.duplicated_atoms(), 0u);
+  // 'pn' alone accounts for 3 duplicates (4 copies, 1 distinct).
+  EXPECT_GE(stats.duplicated_atoms(), 3u);
+  EXPECT_EQ(stats.materialized_atoms,
+            stats.distinct_atoms + stats.duplicated_atoms());
+}
+
+TEST_F(Nf2Test, DuplicationCanBeRejected) {
+  MoleculeType mt = MtState();
+  nf2::Nf2ConversionOptions options;
+  options.allow_duplication = false;
+  auto nested = nf2::MoleculeTypeToNf2(db_, mt, options);
+  EXPECT_EQ(nested.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(Nf2Test, DisjointSubsetConvertsWithoutDuplication) {
+  // Restricting to a single molecule removes cross-molecule sharing.
+  MoleculeType mt = MtState();
+  auto one = RestrictMolecules(
+      db_, mt, expr::Eq(expr::Attr("state", "name"), expr::Lit("BA")), "ba");
+  ASSERT_TRUE(one.ok());
+  nf2::Nf2ConversionOptions options;
+  options.allow_duplication = false;
+  nf2::Nf2ConversionStats stats;
+  auto nested = nf2::MoleculeTypeToNf2(db_, *one, options, &stats);
+  ASSERT_TRUE(nested.ok()) << nested.status();
+  EXPECT_EQ(nested->size(), 1u);
+  EXPECT_EQ(stats.duplicated_atoms(), 0u);
+  // BA molecule: BA + a1 + e8 + p9 + p10.
+  EXPECT_EQ(stats.distinct_atoms, 5u);
+}
+
+TEST_F(Nf2Test, NonTreeDescriptionsRejected) {
+  // Branching out is fine (a node with two outgoing edges); what NF²
+  // cannot express is a node with two *incoming* edges — build one.
+  Database db("DIAMOND");
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  ASSERT_TRUE(db.DefineAtomType("r", s).ok());
+  ASSERT_TRUE(db.DefineAtomType("a", s).ok());
+  ASSERT_TRUE(db.DefineAtomType("b", s).ok());
+  ASSERT_TRUE(db.DefineAtomType("sink", s).ok());
+  ASSERT_TRUE(db.DefineLinkType("ra", "r", "a").ok());
+  ASSERT_TRUE(db.DefineLinkType("rb", "r", "b").ok());
+  ASSERT_TRUE(db.DefineLinkType("as", "a", "sink").ok());
+  ASSERT_TRUE(db.DefineLinkType("bs", "b", "sink").ok());
+  auto md = MoleculeDescription::CreateFromTypes(db, {"r", "a", "b", "sink"},
+                                                 {{"ra", "r", "a", false},
+                                                  {"rb", "r", "b", false},
+                                                  {"as", "a", "sink", false},
+                                                  {"bs", "b", "sink", false}});
+  ASSERT_TRUE(md.ok());
+  auto mt = DefineMoleculeType(db, "diamond", *md);
+  ASSERT_TRUE(mt.ok());
+  auto nested = nf2::MoleculeTypeToNf2(db, *mt);
+  EXPECT_EQ(nested.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(Nf2Test, AttributeNarrowingIsHonoured) {
+  MoleculeType mt = MtState();
+  MoleculeProjectionSpec spec;
+  spec.keep_labels = {"state", "area"};
+  spec.attributes["state"] = {"name"};
+  auto projected = ProjectMolecules(db_, mt, spec, "narrow");
+  ASSERT_TRUE(projected.ok());
+  auto nested = nf2::MoleculeTypeToNf2(db_, *projected);
+  ASSERT_TRUE(nested.ok()) << nested.status();
+  EXPECT_EQ(nested->schema().ToString(),
+            "(name: STRING, area: (name: STRING, hectare: INT64))");
+}
+
+TEST_F(Nf2Test, TotalAtomicFieldsAndToString) {
+  MoleculeType mt = MtState();
+  auto one = RestrictMolecules(
+      db_, mt, expr::Eq(expr::Attr("state", "name"), expr::Lit("SP")), "sp");
+  ASSERT_TRUE(one.ok());
+  auto nested = nf2::MoleculeTypeToNf2(db_, *one);
+  ASSERT_TRUE(nested.ok());
+  // SP + a7 + e1 + pn + p2: 2 + 2 + 1 + 3 + 3 atomic fields.
+  EXPECT_EQ(nested->TotalAtomicFields(), 11u);
+  std::string text = nested->ToString();
+  EXPECT_NE(text.find("'SP'"), std::string::npos);
+  EXPECT_NE(text.find("'pn'"), std::string::npos);
+}
+
+TEST_F(Nf2Test, EmptyMoleculeSetConverts) {
+  MoleculeType mt = MtState();
+  auto none = RestrictMolecules(
+      db_, mt, expr::Eq(expr::Attr("state", "name"), expr::Lit("ZZ")), "none");
+  ASSERT_TRUE(none.ok());
+  auto nested = nf2::MoleculeTypeToNf2(db_, *none);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->size(), 0u);
+}
+
+}  // namespace
+}  // namespace mad

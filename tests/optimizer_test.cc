@@ -1,0 +1,141 @@
+#include "mql/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mql/session.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace mql {
+namespace e = mad::expr;
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = workload::BuildFigure4GeoDatabase(db_);
+    ASSERT_TRUE(ids.ok());
+    ids_ = *ids;
+    auto md = MoleculeDescription::CreateFromTypes(
+        db_, {"state", "area", "edge", "point"},
+        {{"state-area", "state", "area", false},
+         {"area-edge", "area", "edge", false},
+         {"edge-point", "edge", "point", false}});
+    ASSERT_TRUE(md.ok());
+    md_ = std::make_unique<MoleculeDescription>(*std::move(md));
+  }
+
+  Database db_{"GEO_DB"};
+  workload::GeoIds ids_;
+  std::unique_ptr<MoleculeDescription> md_;
+};
+
+TEST_F(OptimizerTest, IsRootOnlyClassification) {
+  auto root_ref = e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{1}));
+  auto leaf_ref = e::Eq(e::Attr("point", "name"), e::Lit("pn"));
+  auto mixed = e::Gt(e::Attr("state", "hectare"), e::Attr("area", "hectare"));
+  EXPECT_TRUE(*IsRootOnly(db_, *md_, *root_ref));
+  EXPECT_FALSE(*IsRootOnly(db_, *md_, *leaf_ref));
+  EXPECT_FALSE(*IsRootOnly(db_, *md_, *mixed));
+  // Unqualified 'x' resolves uniquely to point — not root.
+  EXPECT_FALSE(*IsRootOnly(db_, *md_, *e::Gt(e::Attr("x"), e::Lit(0.0))));
+  // Constant predicates stay residual.
+  EXPECT_FALSE(*IsRootOnly(db_, *md_, *e::Lit(true)));
+  // Unknown references surface as errors.
+  EXPECT_FALSE(IsRootOnly(db_, *md_, *e::Attr("bogus", "name")).ok());
+}
+
+TEST_F(OptimizerTest, SplitsTopLevelConjunction) {
+  auto pred = e::And(
+      e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{900})),
+      e::And(e::Eq(e::Attr("point", "name"), e::Lit("pn")),
+             e::Ne(e::Attr("state", "name"), e::Lit("XX"))));
+  auto split = SplitRootConjuncts(db_, *md_, pred);
+  ASSERT_TRUE(split.ok());
+  ASSERT_NE(split->root_only, nullptr);
+  ASSERT_NE(split->residual, nullptr);
+  EXPECT_EQ(split->root_only->ToString(),
+            "((state.hectare > 900) AND (state.name != 'XX'))");
+  EXPECT_EQ(split->residual->ToString(), "(point.name = 'pn')");
+}
+
+TEST_F(OptimizerTest, DisjunctionIsNotSplit) {
+  auto pred = e::Or(e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{900})),
+                    e::Eq(e::Attr("point", "name"), e::Lit("pn")));
+  auto split = SplitRootConjuncts(db_, *md_, pred);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->root_only, nullptr);
+  ASSERT_NE(split->residual, nullptr);
+  EXPECT_EQ(split->residual->ToString(), pred->ToString());
+}
+
+TEST_F(OptimizerTest, PureRootPredicateLeavesNoResidual) {
+  auto pred = e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{900}));
+  auto split = SplitRootConjuncts(db_, *md_, pred);
+  ASSERT_TRUE(split.ok());
+  EXPECT_NE(split->root_only, nullptr);
+  EXPECT_EQ(split->residual, nullptr);
+}
+
+TEST_F(OptimizerTest, NullPredicateSplitsToNulls) {
+  auto split = SplitRootConjuncts(db_, *md_, nullptr);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->root_only, nullptr);
+  EXPECT_EQ(split->residual, nullptr);
+}
+
+std::set<std::string> RootNames(const Database& db, const QueryResult& r) {
+  std::set<std::string> names;
+  const MoleculeType& mt = *r.molecules;
+  const AtomType* at = *db.GetAtomType(mt.description().root_node().type_name);
+  size_t idx = *at->description().IndexOf("name");
+  for (const Molecule& m : mt.molecules()) {
+    names.insert(at->occurrence().Find(m.root())->values[idx].AsString());
+  }
+  return names;
+}
+
+TEST_F(OptimizerTest, PushdownAndBaselineAgree) {
+  SessionOptions with;
+  with.enable_root_pushdown = true;
+  SessionOptions without;
+  without.enable_root_pushdown = false;
+  Session fast(&db_, with);
+  Session slow(&db_, without);
+
+  const char* queries[] = {
+      "SELECT ALL FROM m1(state-area-edge-point) "
+      "WHERE state.hectare > 900;",
+      "SELECT ALL FROM m2(state-area-edge-point) "
+      "WHERE state.hectare > 900 AND point.name = 'pn';",
+      "SELECT ALL FROM m3(state-area-edge-point) "
+      "WHERE point.name = 'pn';",
+      "SELECT ALL FROM m4(state-area-edge-point) "
+      "WHERE state.name = 'SP' OR point.name = 'p9';",
+      "SELECT state.name FROM m5(state-area-edge-point) "
+      "WHERE state.hectare >= 1000 AND NOT state.name = 'SP';",
+  };
+  for (const char* query : queries) {
+    auto a = fast.Execute(query);
+    auto b = slow.Execute(query);
+    ASSERT_TRUE(a.ok()) << query << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << query << ": " << b.status();
+    EXPECT_EQ(RootNames(db_, *a), RootNames(db_, *b)) << query;
+    EXPECT_EQ(a->molecules->size(), b->molecules->size()) << query;
+  }
+}
+
+TEST_F(OptimizerTest, PushdownDerivesOnlyQualifyingRoots) {
+  Session session(&db_);
+  auto result = session.Execute(
+      "SELECT ALL FROM m(state-area-edge-point) WHERE state.name = 'SP';");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->molecules->size(), 1u);
+  EXPECT_EQ(result->molecules->molecules()[0].root(), ids_.states["SP"]);
+}
+
+}  // namespace
+}  // namespace mql
+}  // namespace mad

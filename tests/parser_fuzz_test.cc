@@ -1,0 +1,114 @@
+// Robustness suite: the MQL front end must return ParseError statuses — and
+// never crash, hang, or accept garbage — for arbitrary byte soup, token
+// soup, and truncations of valid statements.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "mql/parser.h"
+#include "mql/session.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace mql {
+namespace {
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(2026);
+  for (int round = 0; round < 2000; ++round) {
+    size_t len = rng() % 120;
+    std::string text;
+    text.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(rng() % 127 + 1);  // skip NUL
+    }
+    auto result = ParseStatement(text);
+    // Any status is fine; crashes and hangs are the failure mode.
+    (void)result;
+  }
+}
+
+TEST(ParserFuzzTest, TokenSoupNeverCrashes) {
+  const char* fragments[] = {
+      "SELECT", "ALL",  "FROM",   "WHERE",  "(",      ")",     ",",
+      ";",      "-",    "*",      ".",      "'x'",    "42",    "3.5",
+      "state",  "area", "[a-b]",  "AND",    "OR",     "NOT",   "=",
+      "<=",     "!=",   "CREATE", "INSERT", "DELETE", "UPDATE", "EXPLAIN",
+      "VALUES", "SET",  "LINK",   "TYPE",   "INTO",   "TO",    "[c*]",
+  };
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 2000; ++round) {
+    std::string text;
+    size_t tokens = rng() % 24;
+    for (size_t i = 0; i < tokens; ++i) {
+      text += fragments[rng() % std::size(fragments)];
+      text += ' ';
+    }
+    auto result = ParseStatement(text);
+    (void)result;
+  }
+}
+
+TEST(ParserFuzzTest, TruncationsOfValidStatementsFailCleanly) {
+  const std::string statements[] = {
+      "SELECT ALL FROM mt_state(state-area-edge-point) "
+      "WHERE state.hectare > 1000 AND point.name = 'pn';",
+      "CREATE ATOM TYPE t (a STRING, b INT64);",
+      "CREATE LINK TYPE l (t, t, '1:n');",
+      "INSERT LINK l FROM (a = 'x') TO (a = 'y');",
+      "UPDATE t SET b = b + 1 WHERE a != 'z';",
+      "EXPLAIN SELECT x.name FROM q(x-y) WHERE y.v <= 3.5;",
+  };
+  for (const std::string& statement : statements) {
+    // The full statement must parse.
+    ASSERT_TRUE(ParseStatement(statement).ok()) << statement;
+    // Every proper prefix must fail with ParseError (or, for prefixes
+    // ending exactly at a statement boundary, parse fine) — never crash.
+    for (size_t len = 0; len < statement.size(); ++len) {
+      auto result = ParseStatement(statement.substr(0, len));
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kParseError)
+            << statement.substr(0, len);
+      }
+    }
+  }
+}
+
+TEST(ParserFuzzTest, SessionSurvivesGarbageAgainstRealDatabase) {
+  Database db("GEO_DB");
+  ASSERT_TRUE(workload::BuildFigure4GeoDatabase(db).ok());
+  Session session(&db);
+  std::mt19937_64 rng(99);
+
+  // Statements that parse but reference nonsense must fail with clean
+  // statuses and leave the database consistent.
+  const char* nasty[] = {
+      "SELECT ALL FROM nope;",
+      "SELECT ALL FROM state-bogus;",
+      "SELECT ALL FROM state-[nope]-area;",
+      "SELECT nothing FROM m(state-area);",
+      "SELECT ALL FROM m(state-area) WHERE ghost.attr = 1;",
+      "INSERT INTO state VALUES ('only-one-value');",
+      "INSERT LINK ghost FROM (name='x') TO (name='y');",
+      "UPDATE state SET hectare = 'not a number';",
+      "DELETE FROM ghost;",
+      "SELECT ALL FROM part-[composition*];",
+      "SELECT ALL FROM state-area-state;",
+  };
+  for (const char* statement : nasty) {
+    auto result = session.Execute(statement);
+    EXPECT_FALSE(result.ok()) << statement;
+  }
+  EXPECT_TRUE(db.CheckConsistency().ok());
+  // The session still works afterwards.
+  auto ok = session.Execute("SELECT ALL FROM state;");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->molecules->size(), 10u);
+  (void)rng;
+}
+
+}  // namespace
+}  // namespace mql
+}  // namespace mad

@@ -1,0 +1,114 @@
+#include "text/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_model.h"
+#include "molecule/derivation.h"
+#include "workload/bom.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace {
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = workload::BuildFigure4GeoDatabase(db_);
+    ASSERT_TRUE(ids.ok());
+    ids_ = *ids;
+  }
+
+  Database db_{"GEO_DB"};
+  workload::GeoIds ids_;
+};
+
+TEST_F(PrinterTest, FormatAtom) {
+  EXPECT_EQ(text::FormatAtom(db_, "state", ids_.states["SP"]),
+            "<'SP', 1000>");
+  EXPECT_EQ(text::FormatAtom(db_, "state", AtomId{99999}), "<#99999?>");
+  EXPECT_EQ(text::FormatAtom(db_, "bogus", AtomId{1}), "<?>");
+}
+
+TEST_F(PrinterTest, DatabaseSpecMatchesFigure4Shape) {
+  std::string spec = text::FormatDatabaseSpec(db_, 2);
+  // Every atom/link type appears as a formal triple, Fig. 4 style.
+  EXPECT_NE(spec.find("state = <state, {name: STRING, hectare: INT64}, {"),
+            std::string::npos);
+  EXPECT_NE(spec.find("river-net = <river-net, {river, net}, {"),
+            std::string::npos);
+  // Truncation marker.
+  EXPECT_NE(spec.find(", ...}"), std::string::npos);
+  // The closing database line.
+  EXPECT_NE(spec.find("GEO_DB = <{state, city, river, area, net, edge, "
+                      "point}, {state-area, city-point, river-net, "
+                      "area-edge, net-edge, edge-point}> in DB*"),
+            std::string::npos);
+}
+
+TEST_F(PrinterTest, MadDiagramListsReflexivity) {
+  Database bom("BOM");
+  ASSERT_TRUE(workload::BuildCarBom(bom).ok());
+  std::string diagram = text::FormatMadDiagram(bom);
+  EXPECT_NE(diagram.find("part ---composition--- part  (reflexive)"),
+            std::string::npos);
+}
+
+TEST_F(PrinterTest, ErDiagramShowsCardinalities) {
+  std::string diagram = text::FormatErDiagram(er::Figure1ErSchema());
+  EXPECT_NE(diagram.find("area <area-edge n:m> edge"), std::string::npos);
+  EXPECT_NE(diagram.find("state <state-area 1:1> area"), std::string::npos);
+}
+
+TEST_F(PrinterTest, MoleculeFormatting) {
+  auto md = MoleculeDescription::CreateFromTypes(
+      db_, {"state", "area"}, {{"state-area", "state", "area", false}});
+  ASSERT_TRUE(md.ok());
+  auto m = DeriveMoleculeFor(db_, *md, ids_.states["SP"]);
+  ASSERT_TRUE(m.ok());
+  std::string molecule_text = text::FormatMolecule(db_, *md, *m);
+  EXPECT_NE(molecule_text.find("molecule(root=<'SP', 1000>)"),
+            std::string::npos);
+  EXPECT_NE(molecule_text.find("area: {<'a7', 1000>}"), std::string::npos);
+
+  auto mt = DefineMoleculeType(db_, "pairs", *md);
+  ASSERT_TRUE(mt.ok());
+  std::string type_text = text::FormatMoleculeType(db_, *mt, 2);
+  EXPECT_NE(type_text.find("molecule type 'pairs'"), std::string::npos);
+  EXPECT_NE(type_text.find("structure: state-area"), std::string::npos);
+  EXPECT_NE(type_text.find("molecule set (10 molecules)"), std::string::npos);
+  EXPECT_NE(type_text.find("..."), std::string::npos);  // truncated at 2
+}
+
+TEST_F(PrinterTest, RecursiveMoleculeFormatting) {
+  Database bom("BOM");
+  auto ids = workload::BuildCarBom(bom);
+  ASSERT_TRUE(ids.ok());
+  RecursiveDescription rd{"part", "composition", LinkDirection::kForward, -1};
+  auto m = DeriveRecursiveMoleculeFor(bom, rd, (*ids)["car"]);
+  ASSERT_TRUE(m.ok());
+  std::string recursive_text = text::FormatRecursiveMolecule(bom, rd, *m);
+  EXPECT_NE(recursive_text.find("part-[composition*]"), std::string::npos);
+  EXPECT_NE(recursive_text.find("level 0: {<'car', 20000>}"),
+            std::string::npos);
+  EXPECT_NE(recursive_text.find("level 2:"), std::string::npos);
+
+  RecursiveDescription up{"part", "composition", LinkDirection::kBackward, -1};
+  auto bolt = DeriveRecursiveMoleculeFor(bom, up, (*ids)["bolt"]);
+  ASSERT_TRUE(bolt.ok());
+  EXPECT_NE(text::FormatRecursiveMolecule(bom, up, *bolt)
+                .find("part-[composition~*]"),
+            std::string::npos);
+}
+
+TEST_F(PrinterTest, ConceptComparisonContainsAllFigure3Rows) {
+  std::string table = text::FormatConceptComparison();
+  for (const char* row :
+       {"attribute", "relation schema", "atom-type description", "tuple",
+        "atom", "link type", "referential integrity(?)",
+        "referential integrity(!)", "database domain"}) {
+    EXPECT_NE(table.find(row), std::string::npos) << row;
+  }
+}
+
+}  // namespace
+}  // namespace mad

@@ -1,0 +1,204 @@
+#include "relational/rel_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "relational/bridge.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace e = expr;
+namespace {
+
+rel::Relation States() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  EXPECT_TRUE(s.AddAttribute("hectare", DataType::kInt64).ok());
+  rel::Relation r(std::move(s));
+  EXPECT_TRUE(r.Insert({Value("SP"), Value(int64_t{1000})}).ok());
+  EXPECT_TRUE(r.Insert({Value("MG"), Value(int64_t{900})}).ok());
+  EXPECT_TRUE(r.Insert({Value("BA"), Value(int64_t{1500})}).ok());
+  return r;
+}
+
+std::set<std::string> Names(const rel::Relation& r, const std::string& attr) {
+  std::set<std::string> names;
+  size_t idx = *r.schema().IndexOf(attr);
+  for (const auto& t : r.tuples()) names.insert(t[idx].AsString());
+  return names;
+}
+
+TEST(RelationTest, SetSemanticsOnInsert) {
+  rel::Relation r = States();
+  EXPECT_EQ(r.size(), 3u);
+  auto dup = r.Insert({Value("SP"), Value(int64_t{1000})});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_FALSE(*dup);  // duplicate collapsed
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.Contains({Value("SP"), Value(int64_t{1000})}));
+  EXPECT_FALSE(r.Contains({Value("SP"), Value(int64_t{1})}));
+  // Schema validation on insert.
+  EXPECT_FALSE(r.Insert({Value(int64_t{1}), Value(int64_t{1})}).ok());
+}
+
+TEST(RelationTest, EqualityIsOrderInsensitive) {
+  rel::Relation a = States();
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  ASSERT_TRUE(s.AddAttribute("hectare", DataType::kInt64).ok());
+  rel::Relation b(std::move(s));
+  ASSERT_TRUE(b.Insert({Value("BA"), Value(int64_t{1500})}).ok());
+  ASSERT_TRUE(b.Insert({Value("SP"), Value(int64_t{1000})}).ok());
+  ASSERT_TRUE(b.Insert({Value("MG"), Value(int64_t{900})}).ok());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(RelAlgebraTest, ProjectEliminatesDuplicates) {
+  rel::Relation r = States();
+  ASSERT_TRUE(r.Insert({Value("SP2"), Value(int64_t{1000})}).ok());
+  auto p = rel::Project(r, {"hectare"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 3u);  // 1000 appears once
+}
+
+TEST(RelAlgebraTest, RestrictMatchesMadSemantics) {
+  auto big = rel::Restrict(
+      States(), e::Gt(e::Attr("hectare"), e::Lit(int64_t{950})));
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(Names(*big, "name"), (std::set<std::string>{"SP", "BA"}));
+  EXPECT_FALSE(rel::Restrict(States(), nullptr).ok());
+  EXPECT_FALSE(
+      rel::Restrict(States(), e::Gt(e::Attr("bogus"), e::Lit(int64_t{0})))
+          .ok());
+}
+
+TEST(RelAlgebraTest, SetOperations) {
+  rel::Relation a = States();
+  rel::Relation b = States();
+  auto u = rel::Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3u);
+
+  auto big = rel::Restrict(a, e::Gt(e::Attr("hectare"), e::Lit(int64_t{950})));
+  ASSERT_TRUE(big.ok());
+  auto d = rel::Difference(a, *big);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(Names(*d, "name"), std::set<std::string>{"MG"});
+  auto i = rel::Intersection(a, *big);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->size(), 2u);
+}
+
+TEST(RelAlgebraTest, CartesianProductAndRename) {
+  rel::Relation a = States();
+  auto renamed = rel::Rename(a, {{"name", "n2"}, {"hectare", "h2"}});
+  ASSERT_TRUE(renamed.ok());
+  auto x = rel::CartesianProduct(a, *renamed);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->size(), 9u);
+  EXPECT_EQ(x->schema().attribute_count(), 4u);
+  // Without rename the product is rejected.
+  EXPECT_FALSE(rel::CartesianProduct(a, a).ok());
+}
+
+TEST(RelAlgebraTest, EquiJoin) {
+  Schema cap_schema;
+  ASSERT_TRUE(cap_schema.AddAttribute("city", DataType::kString).ok());
+  ASSERT_TRUE(cap_schema.AddAttribute("state_name", DataType::kString).ok());
+  rel::Relation capitals(std::move(cap_schema));
+  ASSERT_TRUE(capitals.Insert({Value("Sao Paulo"), Value("SP")}).ok());
+  ASSERT_TRUE(capitals.Insert({Value("Salvador"), Value("BA")}).ok());
+  ASSERT_TRUE(capitals.Insert({Value("Nowhere"), Value("XX")}).ok());
+
+  auto j = rel::EquiJoin(States(), "name", capitals, "state_name");
+  ASSERT_TRUE(j.ok()) << j.status();
+  EXPECT_EQ(j->size(), 2u);
+  EXPECT_EQ(Names(*j, "city"), (std::set<std::string>{"Sao Paulo", "Salvador"}));
+  EXPECT_FALSE(rel::EquiJoin(States(), "bogus", capitals, "state_name").ok());
+}
+
+TEST(RelAlgebraTest, NaturalJoin) {
+  Schema pop_schema;
+  ASSERT_TRUE(pop_schema.AddAttribute("name", DataType::kString).ok());
+  ASSERT_TRUE(pop_schema.AddAttribute("population", DataType::kInt64).ok());
+  rel::Relation pops(std::move(pop_schema));
+  ASSERT_TRUE(pops.Insert({Value("SP"), Value(int64_t{44})}).ok());
+  ASSERT_TRUE(pops.Insert({Value("MG"), Value(int64_t{21})}).ok());
+
+  auto j = rel::NaturalJoin(States(), pops);
+  ASSERT_TRUE(j.ok()) << j.status();
+  EXPECT_EQ(j->size(), 2u);
+  EXPECT_EQ(j->schema().attribute_count(), 3u);
+  EXPECT_TRUE(j->schema().HasAttribute("population"));
+}
+
+TEST(RelationalDatabaseTest, DefineInsertLookup) {
+  rel::RelationalDatabase db("test");
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  ASSERT_TRUE(db.Define("t", std::move(s)).ok());
+  EXPECT_EQ(db.Define("t", Schema()).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(db.Insert("t", {Value("a")}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value("a")}).ok());  // dup collapses, no error
+  EXPECT_EQ((*db.Get("t"))->size(), 1u);
+  EXPECT_FALSE(db.Get("missing").ok());
+  EXPECT_EQ(db.total_tuple_count(), 1u);
+}
+
+TEST(BridgeTest, TransformFigure4Database) {
+  Database db("GEO_DB");
+  auto ids = workload::BuildFigure4GeoDatabase(db);
+  ASSERT_TRUE(ids.ok());
+
+  rel::TransformStats stats;
+  auto rdb = rel::TransformToRelational(db, &stats);
+  ASSERT_TRUE(rdb.ok()) << rdb.status();
+  EXPECT_EQ(stats.entity_relations, 7u);
+  EXPECT_EQ(stats.auxiliary_relations, 6u)
+      << "every link type costs an auxiliary relation on the relational side";
+  EXPECT_EQ(rdb->relation_count(), 13u);
+  EXPECT_EQ(stats.tuples, db.total_atom_count() + db.total_link_count());
+
+  // Round-trip check on one value: SP exists in the 'state' relation.
+  auto state = rdb->Get("state");
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE((*state)->schema().HasAttribute("_id"));
+  EXPECT_EQ(Names(**state, "name").count("SP"), 1u);
+
+  // Traversal needs a two-join plan: state ⋈ state-area ⋈ area.
+  auto aux = rdb->Get("state-area");
+  ASSERT_TRUE(aux.ok());
+  auto j1 = rel::EquiJoin(**state, "_id", **aux, "_from");
+  ASSERT_TRUE(j1.ok()) << j1.status();
+  auto area =
+      rel::Rename(**rdb->Get("area"),
+                  {{"_id", "_aid"}, {"name", "aname"}, {"hectare", "ahectare"}});
+  ASSERT_TRUE(area.ok());
+  auto j2 = rel::EquiJoin(*j1, "_to", *area, "_aid");
+  ASSERT_TRUE(j2.ok()) << j2.status();
+  EXPECT_EQ(j2->size(), 10u);  // one area per state
+}
+
+TEST(BridgeTest, DegenerationAtomTypeAsRelation) {
+  // Fig. 3: an atom type without links degenerates to a relation.
+  Database db("FLAT");
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  ASSERT_TRUE(db.DefineAtomType("t", std::move(s)).ok());
+  ASSERT_TRUE(db.InsertAtom("t", {Value("a")}).ok());
+  ASSERT_TRUE(db.InsertAtom("t", {Value("a")}).ok());  // same values, new id
+  ASSERT_TRUE(db.InsertAtom("t", {Value("b")}).ok());
+
+  auto with_id = rel::AtomTypeToRelation(db, "t", true);
+  ASSERT_TRUE(with_id.ok());
+  EXPECT_EQ(with_id->size(), 3u);  // identity keeps both 'a' atoms
+
+  auto value_only = rel::AtomTypeToRelation(db, "t", false);
+  ASSERT_TRUE(value_only.ok());
+  EXPECT_EQ(value_only->size(), 2u)  // pure relational view collapses them
+      << "the value projection of an atom type is a relation (set)";
+}
+
+}  // namespace
+}  // namespace mad

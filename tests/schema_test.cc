@@ -1,0 +1,117 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace mad {
+namespace {
+
+Schema StateSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("name", DataType::kString).ok());
+  EXPECT_TRUE(s.AddAttribute("hectare", DataType::kInt64).ok());
+  return s;
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s = StateSchema();
+  EXPECT_EQ(s.attribute_count(), 2u);
+  ASSERT_TRUE(s.IndexOf("name").ok());
+  EXPECT_EQ(*s.IndexOf("name"), 0u);
+  EXPECT_EQ(*s.IndexOf("hectare"), 1u);
+  EXPECT_TRUE(s.HasAttribute("hectare"));
+  EXPECT_FALSE(s.HasAttribute("missing"));
+  EXPECT_EQ(s.IndexOf("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RejectsDuplicateAttribute) {
+  Schema s = StateSchema();
+  EXPECT_EQ(s.AddAttribute("name", DataType::kString).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsNullType) {
+  Schema s;
+  EXPECT_EQ(s.AddAttribute("x", DataType::kNull).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, Project) {
+  Schema s = StateSchema();
+  auto p = s.Project({"hectare"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->attribute_count(), 1u);
+  EXPECT_EQ(p->attribute(0).name, "hectare");
+  EXPECT_EQ(p->attribute(0).type, DataType::kInt64);
+
+  EXPECT_FALSE(s.Project({"bogus"}).ok());
+  EXPECT_FALSE(s.Project({"name", "name"}).ok());
+}
+
+TEST(SchemaTest, ProjectPreservesRequestedOrder) {
+  Schema s = StateSchema();
+  auto p = s.Project({"hectare", "name"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->attribute(0).name, "hectare");
+  EXPECT_EQ(p->attribute(1).name, "name");
+}
+
+TEST(SchemaTest, ConcatDisjoint) {
+  Schema a = StateSchema();
+  Schema b;
+  ASSERT_TRUE(b.AddAttribute("length", DataType::kDouble).ok());
+  auto c = a.ConcatDisjoint(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->attribute_count(), 3u);
+  EXPECT_EQ(c->attribute(2).name, "length");
+
+  // Name collision must be rejected (Def. 4: disjoint in pairs).
+  Schema clash;
+  ASSERT_TRUE(clash.AddAttribute("name", DataType::kString).ok());
+  EXPECT_EQ(a.ConcatDisjoint(clash).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, Rename) {
+  Schema s = StateSchema();
+  EXPECT_TRUE(s.RenameAttribute("name", "state_name").ok());
+  EXPECT_TRUE(s.HasAttribute("state_name"));
+  EXPECT_FALSE(s.HasAttribute("name"));
+  EXPECT_EQ(*s.IndexOf("state_name"), 0u);
+
+  EXPECT_EQ(s.RenameAttribute("missing", "x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.RenameAttribute("state_name", "hectare").code(),
+            StatusCode::kAlreadyExists);
+  // Renaming to itself is a no-op.
+  EXPECT_TRUE(s.RenameAttribute("hectare", "hectare").ok());
+}
+
+TEST(SchemaTest, EqualityIsOrderSensitive) {
+  Schema a = StateSchema();
+  Schema b = StateSchema();
+  EXPECT_EQ(a, b);
+
+  Schema c;
+  ASSERT_TRUE(c.AddAttribute("hectare", DataType::kInt64).ok());
+  ASSERT_TRUE(c.AddAttribute("name", DataType::kString).ok());
+  EXPECT_NE(a, c);
+}
+
+TEST(SchemaTest, ValidateRow) {
+  Schema s = StateSchema();
+  EXPECT_TRUE(s.ValidateRow({Value("SP"), Value(int64_t{100})}).ok());
+  // Arity mismatch.
+  EXPECT_EQ(s.ValidateRow({Value("SP")}).code(), StatusCode::kInvalidArgument);
+  // Type mismatch.
+  EXPECT_EQ(s.ValidateRow({Value(int64_t{1}), Value(int64_t{2})}).code(),
+            StatusCode::kInvalidArgument);
+  // Nulls are allowed anywhere.
+  EXPECT_TRUE(s.ValidateRow({Value(), Value()}).ok());
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(StateSchema().ToString(), "{name: STRING, hectare: INT64}");
+  EXPECT_EQ(Schema().ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace mad

@@ -1,0 +1,136 @@
+// Remaining end-to-end coverage: script error handling, the city (point-
+// like object) flank of the Figure-1 schema, registered-type interactions,
+// and session/result plumbing details.
+
+#include <gtest/gtest.h>
+
+#include "mql/session.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace mql {
+namespace {
+
+class SessionMiscTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = workload::BuildFigure4GeoDatabase(db_);
+    ASSERT_TRUE(ids.ok());
+    ids_ = *ids;
+    session_ = std::make_unique<Session>(&db_);
+  }
+
+  Database db_{"GEO_DB"};
+  workload::GeoIds ids_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(SessionMiscTest, ScriptStopsAtFirstError) {
+  Database db("SCRATCH");
+  Session session(&db);
+  auto results = session.ExecuteScript(
+      "CREATE ATOM TYPE t (a STRING);"
+      "INSERT INTO t VALUES (42);"  // type error
+      "CREATE ATOM TYPE u (b STRING);");
+  ASSERT_FALSE(results.ok());
+  // The first statement took effect, the third never ran.
+  EXPECT_TRUE(db.HasAtomType("t"));
+  EXPECT_FALSE(db.HasAtomType("u"));
+}
+
+TEST_F(SessionMiscTest, CityIsAPointLikeObject) {
+  // Fig. 1 models cities through the shared geographic model: city-point
+  // is 1:1-shaped in the ER diagram, and the city of 'Brasilia' sits on
+  // point p5, which hangs off edge e4 on GO's border.
+  auto result = session_->Execute(
+      "SELECT ALL FROM city-point-edge-(area-state,net-river) "
+      "WHERE city.name = 'Brasilia';");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->molecules->size(), 1u);
+  const MoleculeDescription& md = result->molecules->description();
+  const Molecule& m = result->molecules->molecules()[0];
+  size_t state_idx = *md.NodeIndex("state");
+  ASSERT_EQ(m.AtomsOf(state_idx).size(), 1u);
+  EXPECT_EQ(m.AtomsOf(state_idx)[0], ids_.states["GO"]);
+}
+
+TEST_F(SessionMiscTest, RegisteredTypeCanBeRedefined) {
+  ASSERT_TRUE(session_->Execute("SELECT ALL FROM m(state-area);").ok());
+  // Redefinition under the same name replaces the registration.
+  auto redefined =
+      session_->Execute("SELECT ALL FROM m(state-area-edge-point);");
+  ASSERT_TRUE(redefined.ok());
+  auto reuse = session_->Execute("SELECT ALL FROM m;");
+  ASSERT_TRUE(reuse.ok());
+  EXPECT_EQ(reuse->molecules->description().nodes().size(), 4u);
+}
+
+TEST_F(SessionMiscTest, RegisteredNameShadowedByExplicitStructure) {
+  ASSERT_TRUE(session_->Execute("SELECT ALL FROM state(state-area);").ok());
+  // 'state' is now registered AND an atom type; a bare FROM prefers the
+  // registration, an inline structure is always literal.
+  auto bare = session_->Execute("SELECT ALL FROM state;");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->molecules->description().nodes().size(), 2u);
+}
+
+TEST_F(SessionMiscTest, CommandMessagesAreInformative) {
+  Database db("SCRATCH");
+  Session session(&db);
+  auto r1 = session.Execute("CREATE ATOM TYPE t (a STRING);");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->kind, QueryResult::Kind::kCommand);
+  EXPECT_NE(r1->message.find("'t' created"), std::string::npos);
+  auto r2 = session.Execute("INSERT INTO t VALUES ('x'), ('y');");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->affected, 2u);
+  auto r3 = session.Execute("DELETE FROM t;");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->affected, 2u);
+  EXPECT_NE(r3->message.find("deleted"), std::string::npos);
+}
+
+TEST_F(SessionMiscTest, WhereTrueAndWhereFalse) {
+  auto all = session_->Execute("SELECT ALL FROM state WHERE TRUE;");
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all->molecules->size(), 10u);
+  auto none = session_->Execute("SELECT ALL FROM state WHERE FALSE;");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->molecules->size(), 0u);
+}
+
+TEST_F(SessionMiscTest, SelectItemsByTypeNameQualifier) {
+  // Projection items resolve through ResolveQualifier: type names work
+  // when unambiguous.
+  auto result = session_->Execute(
+      "SELECT area.name FROM q(state-area-edge-point) "
+      "WHERE state.name = 'SP';");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const MoleculeDescription& md = result->molecules->description();
+  EXPECT_EQ(md.nodes().size(), 2u);  // state (root ancestor) + area
+  size_t area_idx = *md.NodeIndex("area");
+  ASSERT_TRUE(md.nodes()[area_idx].attributes.has_value());
+}
+
+TEST_F(SessionMiscTest, InsertLinkReportsZeroOnNoMatches) {
+  auto result = session_->Execute(
+      "INSERT LINK [state-area] FROM (name = 'ZZ') TO (name = 'a1');");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->affected, 0u);
+}
+
+TEST_F(SessionMiscTest, UpdateCrossAttributeAssignment) {
+  Database db("SCRATCH");
+  Session session(&db);
+  ASSERT_TRUE(session
+                  .ExecuteScript("CREATE ATOM TYPE t (a INT64, b INT64);"
+                                 "INSERT INTO t VALUES (3, 4);")
+                  .ok());
+  ASSERT_TRUE(session.Execute("UPDATE t SET a = b * b - a;").ok());
+  auto at = db.GetAtomType("t");
+  EXPECT_EQ((*at)->occurrence().atoms()[0].values[0].AsInt64(), 13);
+}
+
+}  // namespace
+}  // namespace mql
+}  // namespace mad

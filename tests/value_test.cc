@@ -1,0 +1,91 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include "core/data_type.h"
+
+namespace mad {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "STRING");
+  EXPECT_STREQ(DataTypeName(DataType::kBool), "BOOL");
+  EXPECT_STREQ(DataTypeName(DataType::kNull), "NULL");
+}
+
+TEST(DataTypeTest, FromNameIsCaseInsensitiveWithAliases) {
+  EXPECT_EQ(DataTypeFromName("int64"), DataType::kInt64);
+  EXPECT_EQ(DataTypeFromName("INT"), DataType::kInt64);
+  EXPECT_EQ(DataTypeFromName("Double"), DataType::kDouble);
+  EXPECT_EQ(DataTypeFromName("float"), DataType::kDouble);
+  EXPECT_EQ(DataTypeFromName("STRING"), DataType::kString);
+  EXPECT_EQ(DataTypeFromName("text"), DataType::kString);
+  EXPECT_EQ(DataTypeFromName("bool"), DataType::kBool);
+  EXPECT_EQ(DataTypeFromName("boolean"), DataType::kBool);
+  EXPECT_EQ(DataTypeFromName("blob"), DataType::kNull);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), DataType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{5}).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(true).AsBool(), true);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{1000}).ToString(), "1000");
+  EXPECT_EQ(Value("SP").ToString(), "'SP'");
+  EXPECT_EQ(Value(false).ToString(), "FALSE");
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_LT(Value(int64_t{3}), Value(3.5));
+  EXPECT_GT(Value(4.5), Value(int64_t{4}));
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_LT(Value(), Value(int64_t{-100}));
+  EXPECT_LT(Value(), Value("a"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("abc"), Value("abc"));
+}
+
+TEST(ValueTest, CrossTypeRankOrdering) {
+  // bool < numeric < string; the exact order is an implementation choice
+  // but must be total and consistent.
+  EXPECT_LT(Value(true), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1'000'000}), Value(""));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_EQ(Value().Hash(), Value().Hash());
+}
+
+TEST(ValueTest, ToNumeric) {
+  ASSERT_TRUE(Value(int64_t{7}).ToNumeric().ok());
+  EXPECT_DOUBLE_EQ(*Value(int64_t{7}).ToNumeric(), 7.0);
+  ASSERT_TRUE(Value(1.5).ToNumeric().ok());
+  EXPECT_FALSE(Value("x").ToNumeric().ok());
+  EXPECT_FALSE(Value().ToNumeric().ok());
+}
+
+TEST(ValueTest, LargeInt64ExactEquality) {
+  int64_t big = int64_t{1} << 62;
+  EXPECT_EQ(Value(big), Value(big));
+  EXPECT_LT(Value(big - 1), Value(big));
+}
+
+}  // namespace
+}  // namespace mad
