@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_engine_infra"
+  "../bench/bench_engine_infra.pdb"
+  "CMakeFiles/bench_engine_infra.dir/bench_engine_infra.cc.o"
+  "CMakeFiles/bench_engine_infra.dir/bench_engine_infra.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

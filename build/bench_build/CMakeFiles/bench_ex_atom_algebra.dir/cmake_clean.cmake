@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ex_atom_algebra"
+  "../bench/bench_ex_atom_algebra.pdb"
+  "CMakeFiles/bench_ex_atom_algebra.dir/bench_ex_atom_algebra.cc.o"
+  "CMakeFiles/bench_ex_atom_algebra.dir/bench_ex_atom_algebra.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex_atom_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

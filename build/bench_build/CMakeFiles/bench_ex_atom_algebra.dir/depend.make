@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ex_atom_algebra.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ex_mql"
+  "../bench/bench_ex_mql.pdb"
+  "CMakeFiles/bench_ex_mql.dir/bench_ex_mql.cc.o"
+  "CMakeFiles/bench_ex_mql.dir/bench_ex_mql.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex_mql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_schema"
+  "../bench/bench_fig1_schema.pdb"
+  "CMakeFiles/bench_fig1_schema.dir/bench_fig1_schema.cc.o"
+  "CMakeFiles/bench_fig1_schema.dir/bench_fig1_schema.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_molecules"
+  "../bench/bench_fig2_molecules.pdb"
+  "CMakeFiles/bench_fig2_molecules.dir/bench_fig2_molecules.cc.o"
+  "CMakeFiles/bench_fig2_molecules.dir/bench_fig2_molecules.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_molecules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

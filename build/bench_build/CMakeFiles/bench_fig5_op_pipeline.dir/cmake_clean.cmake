@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_op_pipeline"
+  "../bench/bench_fig5_op_pipeline.pdb"
+  "CMakeFiles/bench_fig5_op_pipeline.dir/bench_fig5_op_pipeline.cc.o"
+  "CMakeFiles/bench_fig5_op_pipeline.dir/bench_fig5_op_pipeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_op_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_molecule_ops"
+  "../bench/bench_perf_molecule_ops.pdb"
+  "CMakeFiles/bench_perf_molecule_ops.dir/bench_perf_molecule_ops.cc.o"
+  "CMakeFiles/bench_perf_molecule_ops.dir/bench_perf_molecule_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_molecule_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_nm_traversal"
+  "../bench/bench_perf_nm_traversal.pdb"
+  "CMakeFiles/bench_perf_nm_traversal.dir/bench_perf_nm_traversal.cc.o"
+  "CMakeFiles/bench_perf_nm_traversal.dir/bench_perf_nm_traversal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_nm_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

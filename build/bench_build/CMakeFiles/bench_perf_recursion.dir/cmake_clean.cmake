@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_recursion"
+  "../bench/bench_perf_recursion.pdb"
+  "CMakeFiles/bench_perf_recursion.dir/bench_perf_recursion.cc.o"
+  "CMakeFiles/bench_perf_recursion.dir/bench_perf_recursion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_recursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bill_of_materials.dir/bill_of_materials.cpp.o"
+  "CMakeFiles/example_bill_of_materials.dir/bill_of_materials.cpp.o.d"
+  "example_bill_of_materials"
+  "example_bill_of_materials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bill_of_materials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

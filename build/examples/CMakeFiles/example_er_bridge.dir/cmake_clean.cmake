@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_er_bridge.dir/er_bridge.cpp.o"
+  "CMakeFiles/example_er_bridge.dir/er_bridge.cpp.o.d"
+  "example_er_bridge"
+  "example_er_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_er_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

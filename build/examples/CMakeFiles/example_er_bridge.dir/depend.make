@@ -1,0 +1,2 @@
+# Empty dependencies file for example_er_bridge.
+# This may be replaced when dependencies are built.

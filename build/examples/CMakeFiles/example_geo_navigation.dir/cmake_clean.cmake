@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_geo_navigation.dir/geo_navigation.cpp.o"
+  "CMakeFiles/example_geo_navigation.dir/geo_navigation.cpp.o.d"
+  "example_geo_navigation"
+  "example_geo_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_geo_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mql_shell.dir/mql_shell.cpp.o"
+  "CMakeFiles/example_mql_shell.dir/mql_shell.cpp.o.d"
+  "example_mql_shell"
+  "example_mql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

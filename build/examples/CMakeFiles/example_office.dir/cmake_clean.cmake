@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_office.dir/office.cpp.o"
+  "CMakeFiles/example_office.dir/office.cpp.o.d"
+  "example_office"
+  "example_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/atom_algebra.cc" "src/CMakeFiles/madlib.dir/algebra/atom_algebra.cc.o" "gcc" "src/CMakeFiles/madlib.dir/algebra/atom_algebra.cc.o.d"
+  "/root/repo/src/catalog/link_type.cc" "src/CMakeFiles/madlib.dir/catalog/link_type.cc.o" "gcc" "src/CMakeFiles/madlib.dir/catalog/link_type.cc.o.d"
+  "/root/repo/src/core/data_type.cc" "src/CMakeFiles/madlib.dir/core/data_type.cc.o" "gcc" "src/CMakeFiles/madlib.dir/core/data_type.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/madlib.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/madlib.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/CMakeFiles/madlib.dir/core/value.cc.o" "gcc" "src/CMakeFiles/madlib.dir/core/value.cc.o.d"
+  "/root/repo/src/er/er_model.cc" "src/CMakeFiles/madlib.dir/er/er_model.cc.o" "gcc" "src/CMakeFiles/madlib.dir/er/er_model.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/madlib.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/madlib.dir/expr/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/madlib.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/madlib.dir/expr/expr.cc.o.d"
+  "/root/repo/src/molecule/derivation.cc" "src/CMakeFiles/madlib.dir/molecule/derivation.cc.o" "gcc" "src/CMakeFiles/madlib.dir/molecule/derivation.cc.o.d"
+  "/root/repo/src/molecule/description.cc" "src/CMakeFiles/madlib.dir/molecule/description.cc.o" "gcc" "src/CMakeFiles/madlib.dir/molecule/description.cc.o.d"
+  "/root/repo/src/molecule/molecule.cc" "src/CMakeFiles/madlib.dir/molecule/molecule.cc.o" "gcc" "src/CMakeFiles/madlib.dir/molecule/molecule.cc.o.d"
+  "/root/repo/src/molecule/operations.cc" "src/CMakeFiles/madlib.dir/molecule/operations.cc.o" "gcc" "src/CMakeFiles/madlib.dir/molecule/operations.cc.o.d"
+  "/root/repo/src/molecule/propagation.cc" "src/CMakeFiles/madlib.dir/molecule/propagation.cc.o" "gcc" "src/CMakeFiles/madlib.dir/molecule/propagation.cc.o.d"
+  "/root/repo/src/molecule/qualification.cc" "src/CMakeFiles/madlib.dir/molecule/qualification.cc.o" "gcc" "src/CMakeFiles/madlib.dir/molecule/qualification.cc.o.d"
+  "/root/repo/src/molecule/recursive.cc" "src/CMakeFiles/madlib.dir/molecule/recursive.cc.o" "gcc" "src/CMakeFiles/madlib.dir/molecule/recursive.cc.o.d"
+  "/root/repo/src/molecule/statistics.cc" "src/CMakeFiles/madlib.dir/molecule/statistics.cc.o" "gcc" "src/CMakeFiles/madlib.dir/molecule/statistics.cc.o.d"
+  "/root/repo/src/mql/lexer.cc" "src/CMakeFiles/madlib.dir/mql/lexer.cc.o" "gcc" "src/CMakeFiles/madlib.dir/mql/lexer.cc.o.d"
+  "/root/repo/src/mql/optimizer.cc" "src/CMakeFiles/madlib.dir/mql/optimizer.cc.o" "gcc" "src/CMakeFiles/madlib.dir/mql/optimizer.cc.o.d"
+  "/root/repo/src/mql/parser.cc" "src/CMakeFiles/madlib.dir/mql/parser.cc.o" "gcc" "src/CMakeFiles/madlib.dir/mql/parser.cc.o.d"
+  "/root/repo/src/mql/session.cc" "src/CMakeFiles/madlib.dir/mql/session.cc.o" "gcc" "src/CMakeFiles/madlib.dir/mql/session.cc.o.d"
+  "/root/repo/src/mql/translator.cc" "src/CMakeFiles/madlib.dir/mql/translator.cc.o" "gcc" "src/CMakeFiles/madlib.dir/mql/translator.cc.o.d"
+  "/root/repo/src/relational/bridge.cc" "src/CMakeFiles/madlib.dir/relational/bridge.cc.o" "gcc" "src/CMakeFiles/madlib.dir/relational/bridge.cc.o.d"
+  "/root/repo/src/relational/nf2.cc" "src/CMakeFiles/madlib.dir/relational/nf2.cc.o" "gcc" "src/CMakeFiles/madlib.dir/relational/nf2.cc.o.d"
+  "/root/repo/src/relational/nf2_algebra.cc" "src/CMakeFiles/madlib.dir/relational/nf2_algebra.cc.o" "gcc" "src/CMakeFiles/madlib.dir/relational/nf2_algebra.cc.o.d"
+  "/root/repo/src/relational/rel_algebra.cc" "src/CMakeFiles/madlib.dir/relational/rel_algebra.cc.o" "gcc" "src/CMakeFiles/madlib.dir/relational/rel_algebra.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/madlib.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/madlib.dir/relational/relation.cc.o.d"
+  "/root/repo/src/storage/atom_store.cc" "src/CMakeFiles/madlib.dir/storage/atom_store.cc.o" "gcc" "src/CMakeFiles/madlib.dir/storage/atom_store.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/madlib.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/madlib.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/madlib.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/madlib.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/link_store.cc" "src/CMakeFiles/madlib.dir/storage/link_store.cc.o" "gcc" "src/CMakeFiles/madlib.dir/storage/link_store.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "src/CMakeFiles/madlib.dir/storage/serializer.cc.o" "gcc" "src/CMakeFiles/madlib.dir/storage/serializer.cc.o.d"
+  "/root/repo/src/text/printer.cc" "src/CMakeFiles/madlib.dir/text/printer.cc.o" "gcc" "src/CMakeFiles/madlib.dir/text/printer.cc.o.d"
+  "/root/repo/src/util/digraph.cc" "src/CMakeFiles/madlib.dir/util/digraph.cc.o" "gcc" "src/CMakeFiles/madlib.dir/util/digraph.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/madlib.dir/util/status.cc.o" "gcc" "src/CMakeFiles/madlib.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/madlib.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/madlib.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/bom.cc" "src/CMakeFiles/madlib.dir/workload/bom.cc.o" "gcc" "src/CMakeFiles/madlib.dir/workload/bom.cc.o.d"
+  "/root/repo/src/workload/geo.cc" "src/CMakeFiles/madlib.dir/workload/geo.cc.o" "gcc" "src/CMakeFiles/madlib.dir/workload/geo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

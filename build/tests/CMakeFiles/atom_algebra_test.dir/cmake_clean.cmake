@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_algebra_test.dir/atom_algebra_test.cc.o"
+  "CMakeFiles/atom_algebra_test.dir/atom_algebra_test.cc.o.d"
+  "atom_algebra_test"
+  "atom_algebra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

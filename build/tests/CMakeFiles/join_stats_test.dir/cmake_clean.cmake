@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_stats_test.dir/join_stats_test.cc.o"
+  "CMakeFiles/join_stats_test.dir/join_stats_test.cc.o.d"
+  "join_stats_test"
+  "join_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

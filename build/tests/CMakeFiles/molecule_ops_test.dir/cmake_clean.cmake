@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_ops_test.dir/molecule_ops_test.cc.o"
+  "CMakeFiles/molecule_ops_test.dir/molecule_ops_test.cc.o.d"
+  "molecule_ops_test"
+  "molecule_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

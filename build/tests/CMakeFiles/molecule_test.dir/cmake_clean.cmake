@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_test.dir/molecule_test.cc.o"
+  "CMakeFiles/molecule_test.dir/molecule_test.cc.o.d"
+  "molecule_test"
+  "molecule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

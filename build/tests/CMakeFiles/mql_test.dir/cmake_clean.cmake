@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mql_test.dir/mql_test.cc.o"
+  "CMakeFiles/mql_test.dir/mql_test.cc.o.d"
+  "mql_test"
+  "mql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

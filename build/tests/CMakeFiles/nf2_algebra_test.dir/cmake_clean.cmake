@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf2_algebra_test.dir/nf2_algebra_test.cc.o"
+  "CMakeFiles/nf2_algebra_test.dir/nf2_algebra_test.cc.o.d"
+  "nf2_algebra_test"
+  "nf2_algebra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf2_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

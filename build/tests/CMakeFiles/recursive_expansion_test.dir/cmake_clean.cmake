@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_expansion_test.dir/recursive_expansion_test.cc.o"
+  "CMakeFiles/recursive_expansion_test.dir/recursive_expansion_test.cc.o.d"
+  "recursive_expansion_test"
+  "recursive_expansion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_misc_test.dir/session_misc_test.cc.o"
+  "CMakeFiles/session_misc_test.dir/session_misc_test.cc.o.d"
+  "session_misc_test"
+  "session_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
