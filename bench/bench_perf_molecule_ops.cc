@@ -61,6 +61,33 @@ struct OpsFixture {
   }
 };
 
+void BM_MoleculeDerivation(benchmark::State& state) {
+  // The molecule-type definition operator `a` itself, at an explicit thread
+  // count (range(1)); snapshot build + fan-out per iteration.
+  auto& f = OpsFixture::Get(state);
+  if (f.db == nullptr) return;
+  mad::DerivationOptions opts{static_cast<unsigned>(state.range(1))};
+  mad::DerivationStats stats;
+  for (auto _ : state) {
+    auto mt = mad::DefineMoleculeType(*f.db, "bench", f.mt->description(),
+                                      opts, &stats);
+    if (!mt.ok()) {
+      state.SkipWithError(mt.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(&mt);
+  }
+  state.counters["atoms_visited"] = static_cast<double>(stats.atoms_visited);
+  state.counters["links_scanned"] = static_cast<double>(stats.links_scanned);
+}
+BENCHMARK(BM_MoleculeDerivation)
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({100, 4})
+    ->Args({400, 1})
+    ->Args({400, 2})
+    ->Args({400, 4});
+
 void BM_SigmaRestrict(benchmark::State& state) {
   auto& f = OpsFixture::Get(state);
   if (f.db == nullptr) return;

@@ -47,6 +47,9 @@ void PrintResult(const mad::Database& db, const mad::mql::QueryResult& result) {
       std::cout << result.message << "\n";
       break;
   }
+  if (result.derivation.has_value()) {
+    std::cout << mad::text::FormatDerivationStats(*result.derivation) << "\n";
+  }
 }
 
 bool HandleMetaCommand(const std::string& line,

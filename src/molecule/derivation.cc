@@ -1,97 +1,192 @@
 #include "molecule/derivation.h"
 
+#include <algorithm>
+#include <chrono>
+#include <optional>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "util/digraph.h"
+#include "util/thread_pool.h"
 
 namespace mad {
 
-namespace {
+// ---- Frozen snapshot construction -----------------------------------------
 
-/// Pre-resolved traversal plan: one entry per directed link of the
-/// description, holding everything derivation needs without further name
-/// lookups.
-struct ResolvedEdge {
-  size_t from_node = 0;
-  size_t to_node = 0;
-  const LinkStore* store = nullptr;
-  LinkDirection direction = LinkDirection::kForward;
-};
+Result<DerivationEngine> DerivationEngine::Create(const Database& db,
+                                                 const MoleculeDescription& md,
+                                                 DerivationOptions options) {
+  DerivationEngine engine;
+  engine.options_ = options;
+  const size_t node_count = md.nodes().size();
+  engine.nodes_.resize(node_count);
+  engine.in_edges_.resize(node_count);
 
-struct Plan {
-  std::vector<ResolvedEdge> edges;
-  std::vector<size_t> node_order;  // node indexes in topo order
-};
+  // Dense-index maps are a build-time convenience only; the derivation loop
+  // never hashes.
+  std::vector<std::unordered_map<AtomId, uint32_t>> dense(node_count);
+  for (size_t i = 0; i < node_count; ++i) {
+    MAD_ASSIGN_OR_RETURN(const AtomType* at,
+                         db.GetAtomType(md.nodes()[i].type_name));
+    const std::vector<Atom>& atoms = at->occurrence().atoms();
+    engine.nodes_[i].ids.reserve(atoms.size());
+    dense[i].reserve(atoms.size());
+    for (size_t k = 0; k < atoms.size(); ++k) {
+      engine.nodes_[i].ids.push_back(atoms[k].id);
+      dense[i].emplace(atoms[k].id, static_cast<uint32_t>(k));
+    }
+    const std::vector<size_t>& ins = md.InLinksOf(md.nodes()[i].label);
+    engine.in_edges_[i].assign(ins.begin(), ins.end());
+  }
 
-Result<Plan> MakePlan(const Database& db, const MoleculeDescription& md) {
-  Plan plan;
-  plan.edges.reserve(md.links().size());
+  MAD_ASSIGN_OR_RETURN(engine.root_node_, md.NodeIndex(md.root_label()));
+  engine.root_type_name_ = md.root_node().type_name;
+
+  engine.node_order_.reserve(md.topo_order().size());
+  for (const std::string& label : md.topo_order()) {
+    MAD_ASSIGN_OR_RETURN(size_t idx, md.NodeIndex(label));
+    engine.node_order_.push_back(idx);
+  }
+
+  engine.edges_.reserve(md.links().size());
   for (const DirectedLink& dl : md.links()) {
-    ResolvedEdge edge;
+    EdgeSnapshot edge;
     MAD_ASSIGN_OR_RETURN(edge.from_node, md.NodeIndex(dl.from));
     MAD_ASSIGN_OR_RETURN(edge.to_node, md.NodeIndex(dl.to));
     MAD_ASSIGN_OR_RETURN(const LinkType* lt, db.GetLinkType(dl.link_type));
-    edge.store = &lt->occurrence();
-    edge.direction =
+    const LinkStore& store = lt->occurrence();
+    const LinkDirection direction =
         dl.reverse ? LinkDirection::kBackward : LinkDirection::kForward;
-    plan.edges.push_back(edge);
+    const std::unordered_map<AtomId, uint32_t>& to_dense = dense[edge.to_node];
+
+    edge.offsets.reserve(engine.nodes_[edge.from_node].ids.size() + 1);
+    edge.offsets.push_back(0);
+    for (AtomId from_id : engine.nodes_[edge.from_node].ids) {
+      for (AtomId partner : store.Partners(from_id, direction)) {
+        auto it = to_dense.find(partner);
+        if (it != to_dense.end()) edge.targets.push_back(it->second);
+      }
+      edge.offsets.push_back(edge.targets.size());
+    }
+    engine.edges_.push_back(std::move(edge));
   }
-  plan.node_order.reserve(md.topo_order().size());
-  for (const std::string& label : md.topo_order()) {
-    MAD_ASSIGN_OR_RETURN(size_t idx, md.NodeIndex(label));
-    plan.node_order.push_back(idx);
-  }
-  return plan;
+
+  engine.root_index_ = std::move(dense[engine.root_node_]);
+  return engine;
 }
+
+// ---- Per-worker scratch ---------------------------------------------------
+
+/// Epoch-stamped scratch, one instance per worker thread: sized once to the
+/// snapshot's occurrence sizes, then reused across every root without
+/// clearing — stale entries are dead because their stamp differs from the
+/// current epoch/token.
+struct DerivationEngine::Workspace {
+  struct NodeScratch {
+    std::vector<uint64_t> edge_token;    // last (epoch, edge) that saw the atom
+    std::vector<uint64_t> hit_epoch;     // epoch of first discovery
+    std::vector<uint32_t> hit_count;     // in-edges that reached it this epoch
+    std::vector<uint64_t> member_epoch;  // epoch when accepted as contained
+    std::vector<uint32_t> group;         // contained atoms, derivation order
+    std::vector<uint32_t> order;         // candidate discovery order
+  };
+  std::vector<NodeScratch> nodes;
+  uint64_t epoch = 0;
+  size_t atoms_visited = 0;
+  size_t links_scanned = 0;
+};
+
+DerivationEngine::Workspace DerivationEngine::MakeWorkspace() const {
+  Workspace ws;
+  ws.nodes.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const size_t occ = nodes_[i].ids.size();
+    ws.nodes[i].edge_token.assign(occ, 0);
+    ws.nodes[i].hit_epoch.assign(occ, 0);
+    ws.nodes[i].hit_count.assign(occ, 0);
+    ws.nodes[i].member_epoch.assign(occ, 0);
+  }
+  return ws;
+}
+
+// ---- Derivation of one molecule (Def. 6) ----------------------------------
 
 /// Grows the maximal molecule for one root atom (the `contained`/`total`
 /// semantics of Def. 6). Nodes are processed in topological order, so every
 /// parent group is complete before its children are computed; an atom joins
 /// a node's group iff it has a contained parent through *every* incoming
-/// directed link type (conjunctive ∀-semantics).
-Molecule DeriveOne(const MoleculeDescription& md, const Plan& plan,
-                   AtomId root) {
-  Molecule m(root, md.nodes().size());
-  std::vector<std::unordered_set<AtomId>> members(md.nodes().size());
+/// directed link type (conjunctive ∀-semantics). The loop runs entirely on
+/// dense indexes over the frozen CSR snapshot: no hashing, no lookups.
+Molecule DerivationEngine::DeriveOne(uint32_t root_dense,
+                                     Workspace& ws) const {
+  const uint64_t epoch = ++ws.epoch;
+  const uint64_t token_base = epoch * edges_.size();
+  for (Workspace::NodeScratch& ns : ws.nodes) ns.group.clear();
 
-  size_t root_idx = plan.node_order[0];
-  m.MutableAtomsOf(root_idx).push_back(root);
-  members[root_idx].insert(root);
+  Workspace::NodeScratch& root_scratch = ws.nodes[root_node_];
+  root_scratch.group.push_back(root_dense);
+  root_scratch.member_epoch[root_dense] = epoch;
+  ws.atoms_visited += 1;
 
-  for (size_t oi = 1; oi < plan.node_order.size(); ++oi) {
-    size_t node_idx = plan.node_order[oi];
-    const std::string& label = md.nodes()[node_idx].label;
-    const std::vector<size_t>& in_edges = md.InLinksOf(label);
+  for (size_t oi = 1; oi < node_order_.size(); ++oi) {
+    const size_t node_idx = node_order_[oi];
+    Workspace::NodeScratch& ns = ws.nodes[node_idx];
+    const std::vector<uint32_t>& ins = in_edges_[node_idx];
+    ns.order.clear();
 
-    std::vector<AtomId> order;
-    std::unordered_map<AtomId, size_t> hits;
-    for (size_t edge_idx : in_edges) {
-      const ResolvedEdge& edge = plan.edges[edge_idx];
-      std::unordered_set<AtomId> seen_this_edge;
-      for (AtomId parent : m.AtomsOf(edge.from_node)) {
-        for (AtomId partner : edge.store->Partners(parent, edge.direction)) {
-          if (!seen_this_edge.insert(partner).second) continue;
-          if (hits[partner]++ == 0) order.push_back(partner);
+    for (uint32_t edge_idx : ins) {
+      const uint64_t token = token_base + edge_idx;
+      const EdgeSnapshot& edge = edges_[edge_idx];
+      for (uint32_t parent : ws.nodes[edge.from_node].group) {
+        const size_t row_begin = edge.offsets[parent];
+        const size_t row_end = edge.offsets[parent + 1];
+        ws.links_scanned += row_end - row_begin;
+        for (size_t k = row_begin; k < row_end; ++k) {
+          const uint32_t target = edge.targets[k];
+          if (ns.edge_token[target] == token) continue;  // dedup per edge
+          ns.edge_token[target] = token;
+          if (ns.hit_epoch[target] != epoch) {
+            ns.hit_epoch[target] = epoch;
+            ns.hit_count[target] = 1;
+            ns.order.push_back(target);
+          } else {
+            ++ns.hit_count[target];
+          }
         }
       }
     }
-    for (AtomId atom : order) {
-      if (hits[atom] == in_edges.size()) {
-        m.MutableAtomsOf(node_idx).push_back(atom);
-        members[node_idx].insert(atom);
+    ws.atoms_visited += ns.order.size();
+    for (uint32_t candidate : ns.order) {
+      if (ns.hit_count[candidate] == ins.size()) {
+        ns.group.push_back(candidate);
+        ns.member_epoch[candidate] = epoch;
       }
+    }
+  }
+
+  Molecule m(nodes_[root_node_].ids[root_dense], nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    std::vector<AtomId>& out = m.MutableAtomsOf(i);
+    out.reserve(ws.nodes[i].group.size());
+    for (uint32_t member : ws.nodes[i].group) {
+      out.push_back(nodes_[i].ids[member]);
     }
   }
 
   // Record the molecule's links g: every underlying link between contained
   // atoms along a description edge.
-  for (size_t edge_idx = 0; edge_idx < plan.edges.size(); ++edge_idx) {
-    const ResolvedEdge& edge = plan.edges[edge_idx];
-    for (AtomId parent : m.AtomsOf(edge.from_node)) {
-      for (AtomId partner : edge.store->Partners(parent, edge.direction)) {
-        if (members[edge.to_node].count(partner) > 0) {
-          m.AddLink(MoleculeLink{edge_idx, parent, partner});
+  for (size_t edge_idx = 0; edge_idx < edges_.size(); ++edge_idx) {
+    const EdgeSnapshot& edge = edges_[edge_idx];
+    const Workspace::NodeScratch& to_scratch = ws.nodes[edge.to_node];
+    const std::vector<AtomId>& from_ids = nodes_[edge.from_node].ids;
+    const std::vector<AtomId>& to_ids = nodes_[edge.to_node].ids;
+    for (uint32_t parent : ws.nodes[edge.from_node].group) {
+      const size_t row_begin = edge.offsets[parent];
+      const size_t row_end = edge.offsets[parent + 1];
+      ws.links_scanned += row_end - row_begin;
+      for (size_t k = row_begin; k < row_end; ++k) {
+        const uint32_t target = edge.targets[k];
+        if (to_scratch.member_epoch[target] == epoch) {
+          m.AddLink(MoleculeLink{edge_idx, from_ids[parent], to_ids[target]});
         }
       }
     }
@@ -99,62 +194,151 @@ Molecule DeriveOne(const MoleculeDescription& md, const Plan& plan,
   return m;
 }
 
-}  // namespace
+// ---- Parallel fan-out -----------------------------------------------------
 
-Result<std::vector<Molecule>> DeriveMolecules(const Database& db,
-                                              const MoleculeDescription& md) {
-  MAD_ASSIGN_OR_RETURN(const AtomType* root_at,
-                       db.GetAtomType(md.root_node().type_name));
-  MAD_ASSIGN_OR_RETURN(Plan plan, MakePlan(db, md));
+Result<std::vector<Molecule>> DerivationEngine::FanOut(
+    const std::vector<uint32_t>& roots, DerivationStats* stats) const {
+  unsigned parallelism = options_.parallelism != 0
+                             ? options_.parallelism
+                             : ThreadPool::DefaultParallelism();
+  parallelism = static_cast<unsigned>(std::min<size_t>(
+      parallelism, std::max<size_t>(1, roots.size())));
+
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<Workspace> workspaces;
+  workspaces.reserve(parallelism);
+  for (unsigned w = 0; w < parallelism; ++w) {
+    workspaces.push_back(MakeWorkspace());
+  }
+
+  // Pre-sized slots keyed by root position: whatever thread derives slot i,
+  // the output order is root order — bit-for-bit identical to a serial run.
+  std::vector<std::optional<Molecule>> slots(roots.size());
+  const size_t chunk =
+      std::max<size_t>(1, roots.size() / (static_cast<size_t>(parallelism) * 8));
+  ThreadPool::Shared().ParallelFor(
+      roots.size(), chunk, parallelism,
+      [&](unsigned worker, size_t begin, size_t end) {
+        Workspace& ws = workspaces[worker];
+        for (size_t i = begin; i < end; ++i) {
+          slots[i] = DeriveOne(roots[i], ws);
+        }
+      });
 
   std::vector<Molecule> molecules;
-  molecules.reserve(root_at->occurrence().size());
-  for (const Atom& root : root_at->occurrence().atoms()) {
-    molecules.push_back(DeriveOne(md, plan, root.id));
+  molecules.reserve(slots.size());
+  for (std::optional<Molecule>& slot : slots) {
+    molecules.push_back(std::move(*slot));
+  }
+
+  if (stats != nullptr) {
+    *stats = DerivationStats{};
+    stats->roots = roots.size();
+    stats->threads_used = parallelism;
+    for (const Workspace& ws : workspaces) {
+      stats->atoms_visited += ws.atoms_visited;
+      stats->links_scanned += ws.links_scanned;
+    }
+    stats->wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
   }
   return molecules;
+}
+
+Result<std::vector<Molecule>> DerivationEngine::DeriveAll(
+    DerivationStats* stats) const {
+  std::vector<uint32_t> roots(root_count());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    roots[i] = static_cast<uint32_t>(i);
+  }
+  return FanOut(roots, stats);
+}
+
+Result<std::vector<Molecule>> DerivationEngine::DeriveForRoots(
+    const std::vector<AtomId>& roots, DerivationStats* stats) const {
+  // Validate every root before deriving anything, and report all offenders
+  // in one message instead of failing at the first mid-loop.
+  std::vector<uint32_t> dense_roots;
+  dense_roots.reserve(roots.size());
+  std::string bad;
+  size_t bad_count = 0;
+  for (AtomId root : roots) {
+    auto it = root_index_.find(root);
+    if (it == root_index_.end()) {
+      if (!bad.empty()) bad += ", ";
+      bad += "#" + std::to_string(root.value);
+      ++bad_count;
+      continue;
+    }
+    dense_roots.push_back(it->second);
+  }
+  if (bad_count > 0) {
+    return Status::NotFound(
+        (bad_count == 1 ? "atom " + bad + " is" : "atoms " + bad + " are") +
+        " not in root atom type '" + root_type_name_ + "'");
+  }
+  return FanOut(dense_roots, stats);
+}
+
+Result<Molecule> DerivationEngine::DeriveFor(AtomId root,
+                                             DerivationStats* stats) const {
+  auto it = root_index_.find(root);
+  if (it == root_index_.end()) {
+    return Status::NotFound("atom #" + std::to_string(root.value) +
+                            " is not in root atom type '" + root_type_name_ +
+                            "'");
+  }
+  Workspace ws = MakeWorkspace();
+  Molecule m = DeriveOne(it->second, ws);
+  if (stats != nullptr) {
+    *stats = DerivationStats{};
+    stats->roots = 1;
+    stats->threads_used = 1;
+    stats->atoms_visited = ws.atoms_visited;
+    stats->links_scanned = ws.links_scanned;
+  }
+  return m;
+}
+
+// ---- Free-function façade --------------------------------------------------
+
+Result<std::vector<Molecule>> DeriveMolecules(const Database& db,
+                                              const MoleculeDescription& md,
+                                              const DerivationOptions& options,
+                                              DerivationStats* stats) {
+  MAD_ASSIGN_OR_RETURN(DerivationEngine engine,
+                       DerivationEngine::Create(db, md, options));
+  return engine.DeriveAll(stats);
 }
 
 Result<Molecule> DeriveMoleculeFor(const Database& db,
                                    const MoleculeDescription& md,
                                    AtomId root) {
-  MAD_ASSIGN_OR_RETURN(const AtomType* root_at,
-                       db.GetAtomType(md.root_node().type_name));
-  if (!root_at->occurrence().Contains(root)) {
-    return Status::NotFound("atom #" + std::to_string(root.value) +
-                            " is not in root atom type '" +
-                            md.root_node().type_name + "'");
-  }
-  MAD_ASSIGN_OR_RETURN(Plan plan, MakePlan(db, md));
-  return DeriveOne(md, plan, root);
+  MAD_ASSIGN_OR_RETURN(DerivationEngine engine,
+                       DerivationEngine::Create(db, md));
+  return engine.DeriveFor(root);
 }
 
 Result<std::vector<Molecule>> DeriveMoleculesForRoots(
     const Database& db, const MoleculeDescription& md,
-    const std::vector<AtomId>& roots) {
-  MAD_ASSIGN_OR_RETURN(const AtomType* root_at,
-                       db.GetAtomType(md.root_node().type_name));
-  MAD_ASSIGN_OR_RETURN(Plan plan, MakePlan(db, md));
-  std::vector<Molecule> molecules;
-  molecules.reserve(roots.size());
-  for (AtomId root : roots) {
-    if (!root_at->occurrence().Contains(root)) {
-      return Status::NotFound("atom #" + std::to_string(root.value) +
-                              " is not in root atom type '" +
-                              md.root_node().type_name + "'");
-    }
-    molecules.push_back(DeriveOne(md, plan, root));
-  }
-  return molecules;
+    const std::vector<AtomId>& roots, const DerivationOptions& options,
+    DerivationStats* stats) {
+  MAD_ASSIGN_OR_RETURN(DerivationEngine engine,
+                       DerivationEngine::Create(db, md, options));
+  return engine.DeriveForRoots(roots, stats);
 }
 
 Result<MoleculeType> DefineMoleculeType(const Database& db, std::string name,
-                                        MoleculeDescription md) {
+                                        MoleculeDescription md,
+                                        const DerivationOptions& options,
+                                        DerivationStats* stats) {
   if (name.empty()) {
     return Status::InvalidArgument("molecule type name must be non-empty");
   }
   MAD_ASSIGN_OR_RETURN(std::vector<Molecule> molecules,
-                       DeriveMolecules(db, md));
+                       DeriveMolecules(db, md, options, stats));
   return MoleculeType(std::move(name), std::move(md), std::move(molecules));
 }
 

@@ -1,14 +1,98 @@
 #ifndef MAD_MOLECULE_DERIVATION_H_
 #define MAD_MOLECULE_DERIVATION_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "molecule/molecule_type.h"
+#include "molecule/statistics.h"
 #include "storage/database.h"
 #include "util/result.h"
 
 namespace mad {
+
+/// Tuning knobs of the derivation engine.
+struct DerivationOptions {
+  /// Worker threads for the per-root fan-out (the calling thread counts as
+  /// one). 0 means hardware_concurrency. Output is bit-for-bit identical at
+  /// every setting: molecules land in pre-sized root-order slots, and the
+  /// per-root derivation itself is single-threaded.
+  unsigned parallelism = 0;
+};
+
+/// The derivation engine behind m_dom (Def. 6): a molecule description
+/// resolved against one database into a *frozen snapshot* — per description
+/// edge a CSR-style adjacency array (offsets + dense target indexes built
+/// once from the LinkStore), per node a dense-index <-> AtomId mapping.
+/// After Create() the engine no longer reads the database: the inner
+/// derivation loop does zero hashing and zero name lookups, and the engine
+/// keeps answering from the snapshot even if the database mutates (derive
+/// against the state observed at Create time; build a new engine to see
+/// newer state).
+///
+/// Derivation fans out over root atoms on a shared worker pool; each worker
+/// owns an epoch-stamped scratch workspace so no per-root allocation or
+/// clearing is needed, and results are written into per-root slots so the
+/// output order never depends on thread scheduling.
+class DerivationEngine {
+ public:
+  /// Resolves `md` against `db` and freezes the adjacency snapshot.
+  static Result<DerivationEngine> Create(const Database& db,
+                                         const MoleculeDescription& md,
+                                         DerivationOptions options = {});
+
+  /// One molecule per root-atom-type atom, in occurrence order.
+  Result<std::vector<Molecule>> DeriveAll(DerivationStats* stats = nullptr) const;
+
+  /// Molecules for exactly `roots`, in the given order. Every root is
+  /// validated against the snapshot up front; invalid ids are reported
+  /// together in one NotFound status.
+  Result<std::vector<Molecule>> DeriveForRoots(
+      const std::vector<AtomId>& roots, DerivationStats* stats = nullptr) const;
+
+  /// The single molecule rooted at `root`.
+  Result<Molecule> DeriveFor(AtomId root, DerivationStats* stats = nullptr) const;
+
+  /// Number of atoms of the root atom type in the snapshot.
+  size_t root_count() const { return nodes_[root_node_].ids.size(); }
+
+ private:
+  struct NodeSnapshot {
+    /// Dense index -> atom id, in atom-type occurrence order.
+    std::vector<AtomId> ids;
+  };
+  /// One directed description edge as a CSR adjacency over dense indexes:
+  /// row r (an atom of `from_node`, occurrence order) spans
+  /// targets[offsets[r] .. offsets[r+1]), each entry the dense index of a
+  /// partner atom of `to_node`. Row order preserves LinkStore::Partners
+  /// order, which keeps the engine's output identical to the historical
+  /// per-hop-lookup engine.
+  struct EdgeSnapshot {
+    size_t from_node = 0;
+    size_t to_node = 0;
+    std::vector<size_t> offsets;
+    std::vector<uint32_t> targets;
+  };
+  struct Workspace;
+
+  DerivationEngine() = default;
+
+  Molecule DeriveOne(uint32_t root_dense, Workspace& ws) const;
+  Workspace MakeWorkspace() const;
+  Result<std::vector<Molecule>> FanOut(const std::vector<uint32_t>& roots,
+                                       DerivationStats* stats) const;
+
+  DerivationOptions options_;
+  std::vector<NodeSnapshot> nodes_;
+  std::vector<EdgeSnapshot> edges_;
+  std::vector<size_t> node_order_;  // node indexes in topo order, root first
+  size_t root_node_ = 0;
+  std::vector<std::vector<uint32_t>> in_edges_;  // per node: edge indexes
+  std::unordered_map<AtomId, uint32_t> root_index_;  // root id -> dense index
+  std::string root_type_name_;  // for error messages
+};
 
 /// The function m_dom (Def. 6): derives every molecule matching `md` from
 /// the database's atom networks — one molecule per atom of the root atom
@@ -20,7 +104,9 @@ namespace mad {
 /// link types belongs to the molecule only if it is linked to contained
 /// parent atoms through every one of the k edges.
 Result<std::vector<Molecule>> DeriveMolecules(const Database& db,
-                                              const MoleculeDescription& md);
+                                              const MoleculeDescription& md,
+                                              const DerivationOptions& options = {},
+                                              DerivationStats* stats = nullptr);
 
 /// Derives the single molecule rooted at `root` (which must be an atom of
 /// the root atom type).
@@ -30,15 +116,20 @@ Result<Molecule> DeriveMoleculeFor(const Database& db,
 /// Derives only the molecules rooted at `roots` (each must be an atom of
 /// the root atom type) — the target of restriction pushdown: when a WHERE
 /// conjunct is decidable on root attributes alone, the engine derives just
-/// the qualifying roots instead of the whole occurrence.
+/// the qualifying roots instead of the whole occurrence. All roots are
+/// validated before any derivation starts; a NotFound status names every
+/// invalid id at once.
 Result<std::vector<Molecule>> DeriveMoleculesForRoots(
     const Database& db, const MoleculeDescription& md,
-    const std::vector<AtomId>& roots);
+    const std::vector<AtomId>& roots, const DerivationOptions& options = {},
+    DerivationStats* stats = nullptr);
 
 /// The operator molecule-type-definition a[mname, G](C) (Def. 8): pairs a
 /// validated description with its derived occurrence.
 Result<MoleculeType> DefineMoleculeType(const Database& db, std::string name,
-                                        MoleculeDescription md);
+                                        MoleculeDescription md,
+                                        const DerivationOptions& options = {},
+                                        DerivationStats* stats = nullptr);
 
 /// Checks the mv_graph predicate (Def. 6) on an already-built molecule:
 /// the instance graph must be directed, acyclic, coherent, rooted at the

@@ -26,7 +26,6 @@ MoleculeTypeStats ComputeMoleculeTypeStats(const MoleculeType& mt) {
     if (first) {
       stats.min_atoms = stats.max_atoms = atoms;
       stats.min_links = stats.max_links = links;
-      first = false;
     } else {
       stats.min_atoms = std::min(stats.min_atoms, atoms);
       stats.max_atoms = std::max(stats.max_atoms, atoms);
@@ -37,7 +36,7 @@ MoleculeTypeStats ComputeMoleculeTypeStats(const MoleculeType& mt) {
       const std::vector<AtomId>& group = m.AtomsOf(i);
       NodeStats& ns = stats.nodes[i];
       size_t count = group.size();
-      if (stats.molecule_count > 0 && &m == &mt.molecules().front()) {
+      if (first) {
         ns.min_atoms = ns.max_atoms = count;
       } else {
         ns.min_atoms = std::min(ns.min_atoms, count);
@@ -49,6 +48,7 @@ MoleculeTypeStats ComputeMoleculeTypeStats(const MoleculeType& mt) {
         distinct_overall.insert(id);
       }
     }
+    first = false;
   }
 
   for (size_t i = 0; i < nodes.size(); ++i) {

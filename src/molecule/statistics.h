@@ -51,6 +51,27 @@ MoleculeTypeStats ComputeMoleculeTypeStats(const MoleculeType& mt);
 /// Multi-line human-readable rendering.
 std::string FormatMoleculeTypeStats(const MoleculeTypeStats& stats);
 
+/// Counters recorded by one molecule-derivation run (DeriveMolecules /
+/// DeriveMoleculesForRoots / DefineMoleculeType). Every field except
+/// `wall_ms` is deterministic — independent of thread count and chunking —
+/// because the per-root work is identical and the per-worker counters are
+/// summed after the join.
+struct DerivationStats {
+  /// Root atoms fanned out over (== molecules derived).
+  size_t roots = 0;
+  /// Candidate atoms examined across all molecules (first discoveries per
+  /// node, root slots included).
+  size_t atoms_visited = 0;
+  /// Adjacency entries scanned in the frozen CSR snapshot, over both the
+  /// candidate-collection and the link-recording passes.
+  size_t links_scanned = 0;
+  /// Worker threads the fan-out was allowed to use (caller included).
+  unsigned threads_used = 1;
+  /// End-to-end wall time of the derivation fan-out, snapshot build
+  /// excluded. The only nondeterministic field.
+  double wall_ms = 0.0;
+};
+
 }  // namespace mad
 
 #endif  // MAD_MOLECULE_STATISTICS_H_

@@ -110,11 +110,19 @@ struct ExplainStatement {
   SelectStatement select;
 };
 
+/// SET option [=] value: a session tuning command, e.g. `SET PARALLELISM 4`.
+/// The option name is a case-insensitive identifier interpreted by the
+/// session; values are non-negative integers.
+struct SetOptionStatement {
+  std::string option;
+  int64_t value = 0;
+};
+
 using Statement =
     std::variant<SelectStatement, CreateAtomTypeStatement,
                  CreateLinkTypeStatement, InsertAtomStatement,
                  InsertLinkStatement, DeleteStatement, UpdateStatement,
-                 ExplainStatement>;
+                 ExplainStatement, SetOptionStatement>;
 
 }  // namespace mql
 }  // namespace mad

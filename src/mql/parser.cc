@@ -87,10 +87,28 @@ class Parser {
         stmt.select = std::get<SelectStatement>(std::move(inner));
         return Statement(std::move(stmt));
       }
+      case TokenKind::kSet:
+        // Statement-initial SET is a session option; SET also appears
+        // mid-statement in UPDATE ... SET, which ParseUpdate consumes.
+        return ParseSetOption();
       default:
         return Error(
-            "expected SELECT, CREATE, INSERT, UPDATE, DELETE, or EXPLAIN");
+            "expected SELECT, CREATE, INSERT, UPDATE, DELETE, SET, or "
+            "EXPLAIN");
     }
+  }
+
+  // SET option [=] integer
+  Result<Statement> ParseSetOption() {
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kSet));
+    SetOptionStatement stmt;
+    MAD_ASSIGN_OR_RETURN(stmt.option, ExpectIdentifier("option name"));
+    Accept(TokenKind::kEq);  // optional '='
+    if (Peek().kind != TokenKind::kInteger) {
+      return Error("expected non-negative integer option value");
+    }
+    stmt.value = Advance().int_value;
+    return Statement(std::move(stmt));
   }
 
   // SELECT (ALL | items) FROM from [WHERE expr]

@@ -1,5 +1,7 @@
 #include "mql/session.h"
 
+#include <algorithm>
+
 #include "expr/eval.h"
 #include "molecule/derivation.h"
 #include "molecule/operations.h"
@@ -7,6 +9,8 @@
 #include "mql/optimizer.h"
 #include "mql/parser.h"
 #include "mql/translator.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace mad {
 namespace mql {
@@ -139,6 +143,8 @@ Result<QueryResult> Session::Run(Statement statement) {
           return RunUpdate(std::move(stmt));
         } else if constexpr (std::is_same_v<T, ExplainStatement>) {
           return RunExplain(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, SetOptionStatement>) {
+          return RunSetOption(std::move(stmt));
         } else {
           return RunDelete(std::move(stmt));
         }
@@ -204,18 +210,30 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
     }
     if (expansion.has_value()) {
       // Expansion tail: one component molecule per closure member, derived
-      // only for the closures that survived the WHERE filter.
+      // only for the closures that survived the WHERE filter. One engine
+      // serves every closure — the adjacency snapshot is built once, not
+      // once per recursive molecule.
+      DerivationOptions dopts{options_.parallelism};
+      MAD_ASSIGN_OR_RETURN(DerivationEngine engine,
+                           DerivationEngine::Create(*db_, *expansion, dopts));
+      DerivationStats totals;
       for (const RecursiveMolecule& m : result.recursive) {
         std::vector<AtomId> members;
         for (const auto& level : m.levels()) {
           members.insert(members.end(), level.begin(), level.end());
         }
-        MAD_ASSIGN_OR_RETURN(
-            std::vector<Molecule> components,
-            DeriveMoleculesForRoots(*db_, *expansion, members));
+        DerivationStats stats;
+        MAD_ASSIGN_OR_RETURN(std::vector<Molecule> components,
+                             engine.DeriveForRoots(members, &stats));
+        totals.roots += stats.roots;
+        totals.atoms_visited += stats.atoms_visited;
+        totals.links_scanned += stats.links_scanned;
+        totals.threads_used = std::max(totals.threads_used, stats.threads_used);
+        totals.wall_ms += stats.wall_ms;
         result.recursive_components.push_back(std::move(components));
       }
       result.expansion_description = std::move(expansion);
+      result.derivation = totals;
     }
     return result;
   }
@@ -223,6 +241,8 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
   // Ch. 4 translation: a (definition) ∘ Σ (WHERE) ∘ Π (SELECT), with
   // root-only WHERE conjuncts optionally pushed below the derivation.
   expr::ExprPtr residual_where = stmt.where;
+  DerivationOptions dopts{options_.parallelism};
+  DerivationStats dstats;
   std::optional<MoleculeType> derived;
   if (options_.enable_root_pushdown && stmt.where != nullptr) {
     MAD_ASSIGN_OR_RETURN(SplitPredicate split,
@@ -244,16 +264,18 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
         MAD_ASSIGN_OR_RETURN(bool hit, root_qualifier.Matches(skeleton));
         if (hit) qualifying.push_back(atom.id);
       }
-      MAD_ASSIGN_OR_RETURN(std::vector<Molecule> molecules,
-                           DeriveMoleculesForRoots(*db_, *md, qualifying));
+      MAD_ASSIGN_OR_RETURN(
+          std::vector<Molecule> molecules,
+          DeriveMoleculesForRoots(*db_, *md, qualifying, dopts, &dstats));
       derived.emplace(name, *md, std::move(molecules));
     }
   }
   if (!derived.has_value()) {
     MAD_ASSIGN_OR_RETURN(MoleculeType full,
-                         DefineMoleculeType(*db_, name, *md));
+                         DefineMoleculeType(*db_, name, *md, dopts, &dstats));
     derived.emplace(std::move(full));
   }
+  result.derivation = dstats;
   MoleculeType mt = *std::move(derived);
   if (residual_where != nullptr) {
     MAD_ASSIGN_OR_RETURN(mt,
@@ -481,6 +503,27 @@ Result<QueryResult> Session::RunExplain(ExplainStatement stmt) {
   QueryResult result;
   result.message = std::move(plan);
   return result;
+}
+
+Result<QueryResult> Session::RunSetOption(SetOptionStatement stmt) {
+  if (EqualsIgnoreCase(stmt.option, "parallelism")) {
+    if (stmt.value < 0) {
+      return Status::InvalidArgument(
+          "PARALLELISM must be >= 0 (0 selects hardware concurrency)");
+    }
+    options_.parallelism = static_cast<unsigned>(stmt.value);
+    QueryResult result;
+    result.message =
+        options_.parallelism == 0
+            ? "parallelism set to auto (" +
+                  std::to_string(ThreadPool::DefaultParallelism()) +
+                  " threads)"
+            : "parallelism set to " + std::to_string(options_.parallelism) +
+                  " thread" + (options_.parallelism == 1 ? "" : "s");
+    return result;
+  }
+  return Status::InvalidArgument("unknown session option '" + stmt.option +
+                                 "'; available: PARALLELISM");
 }
 
 Result<QueryResult> Session::RunDelete(DeleteStatement stmt) {

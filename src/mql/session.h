@@ -3,11 +3,13 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "molecule/molecule_type.h"
 #include "molecule/recursive.h"
+#include "molecule/statistics.h"
 #include "mql/ast.h"
 #include "storage/database.h"
 #include "util/result.h"
@@ -34,6 +36,8 @@ struct QueryResult {
   std::string message;
   /// Rows/atoms/links affected by DDL/DML.
   size_t affected = 0;
+  /// Counters of the derivation run(s) behind a SELECT, when one happened.
+  std::optional<DerivationStats> derivation;
 };
 
 /// Execution tuning knobs.
@@ -43,6 +47,10 @@ struct SessionOptions {
   /// query-optimization direction the paper's outlook sketches). Disable
   /// for the ablation benchmarks.
   bool enable_root_pushdown = true;
+  /// Worker threads for molecule derivation (0 = hardware_concurrency);
+  /// adjustable at runtime with `SET PARALLELISM n`. Results are identical
+  /// at every setting.
+  unsigned parallelism = 0;
 };
 
 /// An MQL session: parses statements, translates them to the molecule
@@ -83,6 +91,7 @@ class Session {
   Result<QueryResult> RunDelete(DeleteStatement stmt);
   Result<QueryResult> RunUpdate(UpdateStatement stmt);
   Result<QueryResult> RunExplain(ExplainStatement stmt);
+  Result<QueryResult> RunSetOption(SetOptionStatement stmt);
 
   Database* db_;
   SessionOptions options_;

@@ -7,6 +7,8 @@ namespace mad {
 namespace {
 const std::vector<AtomId> kNoPartners;
 
+/// Removes the first occurrence of `id`, preserving the relative order of
+/// the remaining entries (the Partners() ordering guarantee).
 void RemoveOne(std::vector<AtomId>& list, AtomId id) {
   auto it = std::find(list.begin(), list.end(), id);
   if (it != list.end()) list.erase(it);
@@ -18,7 +20,7 @@ Status LinkStore::Insert(AtomId first, AtomId second) {
     return Status::InvalidArgument("link endpoints must be valid atom ids");
   }
   Link link{first, second};
-  if (!present_.insert(link).second) {
+  if (!index_.emplace(link, links_.size()).second) {
     return Status::AlreadyExists("link <#" + std::to_string(first.value) +
                                  ", #" + std::to_string(second.value) +
                                  "> already present");
@@ -29,32 +31,58 @@ Status LinkStore::Insert(AtomId first, AtomId second) {
   return Status::OK();
 }
 
+void LinkStore::EraseFromLinks(const Link& link) {
+  auto it = index_.find(link);
+  size_t slot = it->second;
+  index_.erase(it);
+  if (slot + 1 != links_.size()) {
+    links_[slot] = links_.back();
+    index_[links_[slot]] = slot;
+  }
+  links_.pop_back();
+}
+
 Status LinkStore::Erase(AtomId first, AtomId second) {
   Link link{first, second};
-  if (present_.erase(link) == 0) {
+  if (index_.count(link) == 0) {
     return Status::NotFound("link <#" + std::to_string(first.value) + ", #" +
                             std::to_string(second.value) + "> not present");
   }
-  links_.erase(std::find(links_.begin(), links_.end(), link));
+  EraseFromLinks(link);
   RemoveOne(forward_[first], second);
   RemoveOne(backward_[second], first);
   return Status::OK();
 }
 
 size_t LinkStore::EraseAllOf(AtomId atom) {
-  std::vector<Link> doomed;
-  for (const Link& link : links_) {
-    if (link.first == atom || link.second == atom) doomed.push_back(link);
+  size_t erased = 0;
+  // Links with `atom` in the first role (reflexive self-links included).
+  auto fit = forward_.find(atom);
+  if (fit != forward_.end()) {
+    for (AtomId second : fit->second) {
+      EraseFromLinks(Link{atom, second});
+      if (second != atom) RemoveOne(backward_[second], atom);
+      ++erased;
+    }
+    forward_.erase(fit);
   }
-  for (const Link& link : doomed) {
-    Status s = Erase(link.first, link.second);
-    (void)s;  // Present by construction.
+  // Links with `atom` in the second role; self-links were handled above and
+  // their backward entry dies with the wholesale erase below.
+  auto bit = backward_.find(atom);
+  if (bit != backward_.end()) {
+    for (AtomId first : bit->second) {
+      if (first == atom) continue;
+      EraseFromLinks(Link{first, atom});
+      RemoveOne(forward_[first], atom);
+      ++erased;
+    }
+    backward_.erase(bit);
   }
-  return doomed.size();
+  return erased;
 }
 
 bool LinkStore::Contains(AtomId first, AtomId second) const {
-  return present_.count(Link{first, second}) > 0;
+  return index_.count(Link{first, second}) > 0;
 }
 
 const std::vector<AtomId>& LinkStore::Partners(AtomId atom,

@@ -2,7 +2,7 @@
 #define MAD_STORAGE_LINK_STORE_H_
 
 #include <cstdint>
-#include <set>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -35,37 +35,57 @@ enum class LinkDirection {
 
 /// A link-type occurrence (Def. 2): a set of links, indexed from both ends
 /// so traversal is symmetric and O(degree).
+///
+/// Ordering guarantees:
+///  * Partners() lists partners in link-insertion order, and erasing a link
+///    preserves the relative order of the remaining partners — derivation
+///    output order depends on this.
+///  * links() has no order guarantee across erases: Erase() swap-and-pops
+///    the backing vector (O(1) instead of an O(n) scan), so it is insertion
+///    order only until the first erase.
 class LinkStore {
  public:
   /// Inserts a link; duplicate (first, second) pairs are rejected.
   Status Insert(AtomId first, AtomId second);
 
-  /// Removes a link; fails if absent.
+  /// Removes a link in ~O(degree); fails if absent.
   Status Erase(AtomId first, AtomId second);
 
   /// Removes every link having `atom` at either end; returns the number
   /// removed. Used to maintain referential integrity on atom deletion.
+  /// Cost is proportional to the atom's degree plus one ordered removal in
+  /// each partner's list — not to the store size.
   size_t EraseAllOf(AtomId atom);
 
   bool Contains(AtomId first, AtomId second) const;
 
   /// Partner atoms of `atom` when traversing in `direction`; for kForward
   /// `atom` is matched against the first role, for kBackward against the
-  /// second.
+  /// second. Partners appear in link-insertion order (see class comment).
   const std::vector<AtomId>& Partners(AtomId atom,
                                       LinkDirection direction) const;
 
   size_t size() const { return links_.size(); }
   bool empty() const { return links_.empty(); }
 
-  /// All links in insertion order.
+  /// All links, in storage order (see class comment).
   const std::vector<Link>& links() const { return links_; }
 
  private:
-  void Reindex();
+  struct LinkHash {
+    size_t operator()(const Link& link) const noexcept {
+      size_t h = std::hash<AtomId>{}(link.first);
+      return h ^ (std::hash<AtomId>{}(link.second) + 0x9e3779b97f4a7c15ULL +
+                  (h << 6) + (h >> 2));
+    }
+  };
+
+  /// Swap-and-pop removal from links_ keeping index_ consistent; the link
+  /// must be present.
+  void EraseFromLinks(const Link& link);
 
   std::vector<Link> links_;
-  std::set<Link> present_;
+  std::unordered_map<Link, size_t, LinkHash> index_;  // link -> links_ slot
   std::unordered_map<AtomId, std::vector<AtomId>> forward_;
   std::unordered_map<AtomId, std::vector<AtomId>> backward_;
 };

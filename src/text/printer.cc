@@ -1,5 +1,7 @@
 #include "text/printer.h"
 
+#include <cstdio>
+
 namespace mad {
 namespace text {
 
@@ -185,6 +187,18 @@ std::string FormatConceptComparison() {
       "-                        | link type\n"
       "referential integrity(?) | referential integrity(!)\n"
       "'relation domain'        | database domain\n";
+}
+
+std::string FormatDerivationStats(const DerivationStats& stats) {
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.2f", stats.wall_ms);
+  return "derived " + std::to_string(stats.roots) + " molecule" +
+         (stats.roots == 1 ? "" : "s") + ": " +
+         std::to_string(stats.atoms_visited) + " atoms visited, " +
+         std::to_string(stats.links_scanned) + " links scanned, " +
+         std::to_string(stats.threads_used) +
+         (stats.threads_used == 1 ? " thread, " : " threads, ") + wall +
+         " ms";
 }
 
 }  // namespace text

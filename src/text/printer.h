@@ -6,6 +6,7 @@
 #include "er/er_model.h"
 #include "molecule/molecule_type.h"
 #include "molecule/recursive.h"
+#include "molecule/statistics.h"
 #include "storage/database.h"
 
 namespace mad {
@@ -45,6 +46,10 @@ std::string FormatRecursiveMolecule(const Database& db,
 
 /// Fig. 3: the relational-vs-MAD concept correspondence table.
 std::string FormatConceptComparison();
+
+/// One line of derivation-run counters, e.g.
+/// "derived 5 molecules: 23 atoms visited, 41 links scanned, 4 threads, 0.18 ms".
+std::string FormatDerivationStats(const DerivationStats& stats);
 
 }  // namespace text
 }  // namespace mad

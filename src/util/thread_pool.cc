@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace mad {
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+unsigned ThreadPool::DefaultParallelism() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::EnsureWorkers(unsigned n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      ++running_;
+    }
+    RunSlice();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunSlice() {
+  // Job-local worker identity; threads beyond the requested parallelism
+  // (stragglers of an earlier, already-finished generation) sit the job out.
+  unsigned slot = slots_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= max_slots_) return;
+  for (;;) {
+    size_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= count_) return;
+    size_t end = std::min(begin + chunk_, count_);
+    (*body_)(slot, begin, end);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, size_t chunk_size, unsigned parallelism,
+    const std::function<void(unsigned, size_t, size_t)>& body) {
+  if (count == 0) return;
+  unsigned p = std::max(1u, parallelism);
+  size_t chunk = std::max<size_t>(1, chunk_size);
+  if (p == 1 || count <= chunk) {
+    body(0, 0, count);
+    return;
+  }
+  std::lock_guard<std::mutex> job_lock(job_serial_mu_);
+  EnsureWorkers(p - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    count_ = count;
+    chunk_ = chunk;
+    max_slots_ = p;
+    next_.store(0, std::memory_order_relaxed);
+    slots_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunSlice();  // the caller is a worker too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return running_ == 0 && next_.load(std::memory_order_relaxed) >= count_;
+  });
+}
+
+}  // namespace mad

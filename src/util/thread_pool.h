@@ -1,0 +1,76 @@
+#ifndef MAD_UTIL_THREAD_POOL_H_
+#define MAD_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mad {
+
+/// A small fixed-purpose worker pool for data-parallel fan-out: one job at a
+/// time, chunked over an index range with a shared work queue (an atomic
+/// next-chunk cursor), the calling thread participating as worker 0..n-1.
+///
+/// Workers are started lazily and kept alive across jobs, so repeated
+/// ParallelFor calls (one per molecule derivation) pay no thread-spawn cost.
+/// Jobs are serialized: a second caller blocks until the first job finished.
+/// ParallelFor must not be called from inside a job body (no nesting).
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide shared pool.
+  static ThreadPool& Shared();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned DefaultParallelism();
+
+  /// Runs `body(worker, begin, end)` over chunks of [0, count) using up to
+  /// `parallelism` threads (the caller included); blocks until every index
+  /// is processed. `worker` is a dense job-local index in [0, parallelism)
+  /// usable to address per-worker scratch. Chunks are handed out through a
+  /// shared cursor, so any worker may process any chunk — callers that need
+  /// deterministic output must write results into per-index slots, never
+  /// append in completion order.
+  void ParallelFor(size_t count, size_t chunk_size, unsigned parallelism,
+                   const std::function<void(unsigned worker, size_t begin,
+                                            size_t end)>& body);
+
+ private:
+  void EnsureWorkers(unsigned n);
+  void WorkerLoop();
+  void RunSlice();
+
+  std::mutex job_serial_mu_;  // serializes whole jobs
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new generation
+  std::condition_variable done_cv_;  // the caller waits for running_ == 0
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  unsigned running_ = 0;  // workers currently inside the job
+
+  // State of the current job; readable by late-waking workers of an older
+  // generation, which is safe because they bail out on next_ >= count_
+  // before ever touching body_.
+  const std::function<void(unsigned, size_t, size_t)>* body_ = nullptr;
+  size_t count_ = 0;
+  size_t chunk_ = 1;
+  unsigned max_slots_ = 0;
+  std::atomic<size_t> next_{0};
+  std::atomic<unsigned> slots_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_UTIL_THREAD_POOL_H_

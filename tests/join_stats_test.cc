@@ -134,6 +134,17 @@ TEST(StatsTest, EmptyMoleculeType) {
   MoleculeTypeStats stats = ComputeMoleculeTypeStats(*mt);
   EXPECT_EQ(stats.molecule_count, 0u);
   EXPECT_DOUBLE_EQ(stats.sharing_factor(), 1.0);
+  // No molecules: every aggregate must stay at its zero state rather than
+  // inherit garbage from a never-taken seeding branch.
+  EXPECT_EQ(stats.min_atoms, 0u);
+  EXPECT_EQ(stats.max_atoms, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_atoms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.avg_links, 0.0);
+  ASSERT_EQ(stats.nodes.size(), 1u);
+  EXPECT_EQ(stats.nodes[0].min_atoms, 0u);
+  EXPECT_EQ(stats.nodes[0].max_atoms, 0u);
+  EXPECT_DOUBLE_EQ(stats.nodes[0].avg_atoms, 0.0);
+  EXPECT_EQ(stats.nodes[0].distinct_atoms, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+// LinkStore ordering and erase semantics: Erase/EraseAllOf must run in
+// ~O(degree) via swap-and-pop on the backing vector, but Partners() must
+// keep the relative insertion order of the survivors — derivation output
+// order depends on it.
+
+#include "storage/link_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mad {
+namespace {
+
+AtomId Id(uint64_t v) { return AtomId{v}; }
+
+TEST(LinkStoreTest, InsertRejectsDuplicatesAndInvalidIds) {
+  LinkStore store;
+  EXPECT_TRUE(store.Insert(Id(1), Id(2)).ok());
+  EXPECT_EQ(store.Insert(Id(1), Id(2)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.Insert(AtomId{}, Id(2)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(LinkStoreTest, EraseKeepsPartnerOrder) {
+  LinkStore store;
+  for (uint64_t second : {10, 11, 12, 13, 14}) {
+    ASSERT_TRUE(store.Insert(Id(1), Id(second)).ok());
+  }
+  ASSERT_TRUE(store.Erase(Id(1), Id(12)).ok());
+  // Survivors keep their relative insertion order.
+  EXPECT_EQ(store.Partners(Id(1), LinkDirection::kForward),
+            (std::vector<AtomId>{Id(10), Id(11), Id(13), Id(14)}));
+  EXPECT_EQ(store.Erase(Id(1), Id(12)).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(store.Contains(Id(1), Id(12)));
+  EXPECT_EQ(store.size(), 4u);
+}
+
+TEST(LinkStoreTest, EraseKeepsLinksQueryable) {
+  LinkStore store;
+  ASSERT_TRUE(store.Insert(Id(1), Id(2)).ok());
+  ASSERT_TRUE(store.Insert(Id(3), Id(4)).ok());
+  ASSERT_TRUE(store.Insert(Id(5), Id(6)).ok());
+  // Erasing the first link swap-and-pops; every survivor must stay
+  // reachable through links(), Contains(), and both partner indexes.
+  ASSERT_TRUE(store.Erase(Id(1), Id(2)).ok());
+  EXPECT_EQ(store.links().size(), 2u);
+  for (const Link& link : {Link{Id(3), Id(4)}, Link{Id(5), Id(6)}}) {
+    EXPECT_TRUE(store.Contains(link.first, link.second));
+    EXPECT_NE(std::find(store.links().begin(), store.links().end(), link),
+              store.links().end());
+  }
+  // And erasing a survivor through the moved slot still works.
+  ASSERT_TRUE(store.Erase(Id(5), Id(6)).ok());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Contains(Id(3), Id(4)));
+}
+
+TEST(LinkStoreTest, EraseAllOfRemovesBothRoles) {
+  LinkStore store;
+  ASSERT_TRUE(store.Insert(Id(1), Id(2)).ok());   // 1 first
+  ASSERT_TRUE(store.Insert(Id(1), Id(3)).ok());   // 1 first
+  ASSERT_TRUE(store.Insert(Id(4), Id(1)).ok());   // 1 second
+  ASSERT_TRUE(store.Insert(Id(2), Id(3)).ok());   // untouched
+  EXPECT_EQ(store.EraseAllOf(Id(1)), 3u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Contains(Id(2), Id(3)));
+  EXPECT_TRUE(store.Partners(Id(1), LinkDirection::kForward).empty());
+  EXPECT_TRUE(store.Partners(Id(1), LinkDirection::kBackward).empty());
+  // Partner lists of the other endpoints no longer mention atom 1.
+  EXPECT_EQ(store.Partners(Id(2), LinkDirection::kBackward),
+            std::vector<AtomId>{});
+  EXPECT_EQ(store.Partners(Id(4), LinkDirection::kForward),
+            std::vector<AtomId>{});
+  EXPECT_EQ(store.EraseAllOf(Id(1)), 0u);
+}
+
+TEST(LinkStoreTest, EraseAllOfCountsReflexiveSelfLinkOnce) {
+  LinkStore store;
+  ASSERT_TRUE(store.Insert(Id(7), Id(7)).ok());  // self-link
+  ASSERT_TRUE(store.Insert(Id(7), Id(8)).ok());
+  ASSERT_TRUE(store.Insert(Id(9), Id(7)).ok());
+  EXPECT_EQ(store.EraseAllOf(Id(7)), 3u);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(LinkStoreTest, EraseAllOfKeepsSurvivorPartnerOrder) {
+  LinkStore store;
+  // Atom 20 sees partners 1, 2, 3 in that order; erasing all of atom 2
+  // must leave 1, 3 in order.
+  ASSERT_TRUE(store.Insert(Id(1), Id(20)).ok());
+  ASSERT_TRUE(store.Insert(Id(2), Id(20)).ok());
+  ASSERT_TRUE(store.Insert(Id(3), Id(20)).ok());
+  EXPECT_EQ(store.EraseAllOf(Id(2)), 1u);
+  EXPECT_EQ(store.Partners(Id(20), LinkDirection::kBackward),
+            (std::vector<AtomId>{Id(1), Id(3)}));
+}
+
+}  // namespace
+}  // namespace mad

@@ -347,5 +347,33 @@ TEST_F(MoleculeTest, DerivationOverDerivedAtomTypesViaInheritedLinks) {
   }
 }
 
+TEST_F(MoleculeTest, ForRootsReportsEveryInvalidRootAtOnce) {
+  MoleculeDescription md = MtState();
+  // One atom of a non-root type and one unknown id, mixed with a valid
+  // root: validation happens before any derivation and names both bad ids.
+  AtomId valid_root = ids_.states.at("BA");
+  AtomId wrong_type = ids_.points.at("pn");
+  AtomId unknown{999999};
+  auto result = DeriveMoleculesForRoots(
+      db_, md, {valid_root, wrong_type, unknown});
+  ASSERT_FALSE(result.ok());
+  Status status = result.status();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  std::string message = status.message();
+  EXPECT_NE(message.find("#" + std::to_string(wrong_type.value)),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("#" + std::to_string(unknown.value)),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("state"), std::string::npos) << message;
+
+  // A single bad root keeps the singular wording.
+  auto single = DeriveMoleculesForRoots(db_, md, {wrong_type});
+  ASSERT_FALSE(single.ok());
+  EXPECT_NE(single.status().message().find("atom #"), std::string::npos)
+      << single.status().message();
+}
+
 }  // namespace
 }  // namespace mad

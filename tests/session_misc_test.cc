@@ -131,6 +131,41 @@ TEST_F(SessionMiscTest, UpdateCrossAttributeAssignment) {
   EXPECT_EQ((*at)->occurrence().atoms()[0].values[0].AsInt64(), 13);
 }
 
+TEST_F(SessionMiscTest, SetParallelismControlsDerivation) {
+  auto set = session_->Execute("SET PARALLELISM 2;");
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_NE(set->message.find("parallelism set to 2"), std::string::npos);
+
+  auto two = session_->Execute("SELECT ALL FROM state-area-edge-point;");
+  ASSERT_TRUE(two.ok()) << two.status();
+  ASSERT_TRUE(two->derivation.has_value());
+  EXPECT_EQ(two->derivation->roots, two->molecules->size());
+  EXPECT_LE(two->derivation->threads_used, 2u);
+  EXPECT_GT(two->derivation->atoms_visited, 0u);
+
+  // Back to one thread: the result set is identical (canonical equality is
+  // enough here; exact-order invariance is pinned in
+  // derivation_parallel_test).
+  ASSERT_TRUE(session_->Execute("SET PARALLELISM = 1;").ok());
+  auto one = session_->Execute("SELECT ALL FROM state-area-edge-point;");
+  ASSERT_TRUE(one.ok()) << one.status();
+  ASSERT_EQ(one->molecules->size(), two->molecules->size());
+  for (size_t i = 0; i < one->molecules->size(); ++i) {
+    EXPECT_TRUE(one->molecules->molecules()[i] ==
+                two->molecules->molecules()[i]);
+  }
+  EXPECT_EQ(one->derivation->atoms_visited, two->derivation->atoms_visited);
+  EXPECT_EQ(one->derivation->links_scanned, two->derivation->links_scanned);
+
+  // SET PARALLELISM 0 selects hardware concurrency; bad options and
+  // negative values fail cleanly.
+  auto zero = session_->Execute("SET PARALLELISM 0;");
+  ASSERT_TRUE(zero.ok()) << zero.status();
+  EXPECT_NE(zero->message.find("auto"), std::string::npos);
+  EXPECT_FALSE(session_->Execute("SET PARALLELISM -1;").ok());
+  EXPECT_FALSE(session_->Execute("SET FROBNICATION 3;").ok());
+}
+
 }  // namespace
 }  // namespace mql
 }  // namespace mad
