@@ -1,0 +1,152 @@
+// PERF-CLONE: database snapshot cost — the text serializer round trip the
+// seed used for CloneDatabase versus the binary checkpoint codec that now
+// backs it. Same scaled PERF-NM geo database; the binary path skips number
+// formatting/parsing and token scanning entirely, so it should win by a
+// wide margin and the gap should grow with database size.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "storage/binary_codec.h"
+#include "storage/serializer.h"
+#include "workload/geo.h"
+
+namespace {
+
+struct CloneFixture {
+  std::unique_ptr<mad::Database> db;
+  std::string text_image;
+  std::string binary_image;
+  int64_t states = -1;
+
+  static CloneFixture& Get(benchmark::State& state) {
+    static CloneFixture f;
+    if (f.db == nullptr || f.states != state.range(0)) {
+      f.states = state.range(0);
+      f.db = std::make_unique<mad::Database>("SCALED");
+      mad::workload::GeoScale scale;
+      scale.states = static_cast<int>(f.states);
+      scale.rivers = scale.states / 5 + 1;
+      scale.shared_edge_fraction = 0.6;
+      auto stats = mad::workload::GenerateScaledGeo(*f.db, scale);
+      if (!stats.ok()) {
+        state.SkipWithError(stats.status().ToString().c_str());
+        return f;
+      }
+      auto text = mad::SerializeDatabase(*f.db);
+      auto binary = mad::SerializeDatabaseBinary(*f.db);
+      if (!text.ok() || !binary.ok()) {
+        state.SkipWithError("serialization failed");
+        return f;
+      }
+      f.text_image = *std::move(text);
+      f.binary_image = *std::move(binary);
+    }
+    return f;
+  }
+};
+
+void BM_CloneTextRoundTrip(benchmark::State& state) {
+  // The pre-binary-codec CloneDatabase: text serialize + parse back.
+  auto& f = CloneFixture::Get(state);
+  if (f.db == nullptr) return;
+  for (auto _ : state) {
+    auto text = mad::SerializeDatabase(*f.db);
+    if (!text.ok()) {
+      state.SkipWithError(text.status().ToString().c_str());
+      return;
+    }
+    auto clone = mad::DeserializeDatabase(*text);
+    if (!clone.ok()) {
+      state.SkipWithError(clone.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(&clone);
+  }
+  state.counters["image_bytes"] = static_cast<double>(f.text_image.size());
+}
+BENCHMARK(BM_CloneTextRoundTrip)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_CloneBinary(benchmark::State& state) {
+  // CloneDatabase as shipped: binary serialize + deserialize.
+  auto& f = CloneFixture::Get(state);
+  if (f.db == nullptr) return;
+  for (auto _ : state) {
+    auto clone = mad::CloneDatabase(*f.db);
+    if (!clone.ok()) {
+      state.SkipWithError(clone.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(&clone);
+  }
+  state.counters["image_bytes"] = static_cast<double>(f.binary_image.size());
+}
+BENCHMARK(BM_CloneBinary)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_SerializeText(benchmark::State& state) {
+  auto& f = CloneFixture::Get(state);
+  if (f.db == nullptr) return;
+  for (auto _ : state) {
+    auto text = mad::SerializeDatabase(*f.db);
+    if (!text.ok()) {
+      state.SkipWithError(text.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(&text);
+  }
+}
+BENCHMARK(BM_SerializeText)->Arg(50)->Arg(200);
+
+void BM_SerializeBinary(benchmark::State& state) {
+  auto& f = CloneFixture::Get(state);
+  if (f.db == nullptr) return;
+  for (auto _ : state) {
+    auto bytes = mad::SerializeDatabaseBinary(*f.db);
+    if (!bytes.ok()) {
+      state.SkipWithError(bytes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(&bytes);
+  }
+}
+BENCHMARK(BM_SerializeBinary)->Arg(50)->Arg(200);
+
+void BM_DeserializeText(benchmark::State& state) {
+  auto& f = CloneFixture::Get(state);
+  if (f.db == nullptr) return;
+  for (auto _ : state) {
+    auto db = mad::DeserializeDatabase(f.text_image);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(&db);
+  }
+}
+BENCHMARK(BM_DeserializeText)->Arg(50)->Arg(200);
+
+void BM_DeserializeBinary(benchmark::State& state) {
+  auto& f = CloneFixture::Get(state);
+  if (f.db == nullptr) return;
+  for (auto _ : state) {
+    auto db = mad::DeserializeDatabaseBinary(f.binary_image);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(&db);
+  }
+}
+BENCHMARK(BM_DeserializeBinary)->Arg(50)->Arg(200);
+
+const bool kHeaderPrinted = [] {
+  std::cout << "==== PERF-CLONE: text round trip vs binary checkpoint codec "
+               "(CloneDatabase) ====\n"
+               "workload: scaled geo network snapshot, serialize + parse "
+               "back into a fresh database\n\n";
+  return true;
+}();
+
+}  // namespace

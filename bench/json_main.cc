@@ -1,0 +1,145 @@
+// Shared main() for every bench_* binary. Adds a `--json <path>` flag on
+// top of the stock google-benchmark flags: when given, a machine-readable
+// summary of every run is written to <path> in addition to the usual
+// console output, so CI and scripts can diff benchmark results without
+// scraping stdout. The JSON shape is deliberately small and stable:
+//
+//   {"benchmark": "<binary>", "results": [
+//     {"op": "<name>", "ns_per_op": <double>,
+//      "iterations": <int>, "parallelism": <int>}, ...]}
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct JsonRow {
+  std::string op;
+  double ns_per_op = 0.0;
+  int64_t iterations = 0;
+  int64_t parallelism = 1;
+};
+
+/// Console reporter that also keeps a row per successful iteration run
+/// (aggregates like mean/stddev are skipped; they would double-count).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    benchmark::ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      JsonRow row;
+      row.op = run.benchmark_name();
+      row.iterations = run.iterations;
+      row.parallelism = run.threads;
+      if (run.iterations > 0) {
+        row.ns_per_op = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e9;
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  const std::vector<JsonRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<JsonRow> rows_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteJson(const std::string& path, const std::string& binary,
+               const std::vector<JsonRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\"benchmark\": \"" << JsonEscape(binary) << "\", \"results\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n  {\"op\": \"" << JsonEscape(rows[i].op)
+        << "\", \"ns_per_op\": " << rows[i].ns_per_op
+        << ", \"iterations\": " << rows[i].iterations
+        << ", \"parallelism\": " << rows[i].parallelism << "}";
+  }
+  out << "\n]}\n";
+  return out.good();
+}
+
+/// Strips the binary's directory prefix, leaving e.g. "bench_perf_clone".
+std::string BinaryName(const char* argv0) {
+  std::string name = argv0;
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--json requires a path argument\n";
+        return 1;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  int rc = 0;
+  if (!json_path.empty()) {
+    if (WriteJson(json_path, BinaryName(argv[0]), reporter.rows())) {
+      std::cout << "wrote " << reporter.rows().size() << " result(s) to "
+                << json_path << "\n";
+    } else {
+      std::cerr << "failed to write " << json_path << "\n";
+      rc = 1;
+    }
+  }
+  benchmark::Shutdown();
+  return rc;
+}

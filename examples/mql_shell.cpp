@@ -50,6 +50,9 @@ void PrintResult(const mad::Database& db, const mad::mql::QueryResult& result) {
   if (result.derivation.has_value()) {
     std::cout << mad::text::FormatDerivationStats(*result.derivation) << "\n";
   }
+  if (result.durability.has_value()) {
+    std::cout << mad::text::FormatDurabilityStats(*result.durability) << "\n";
+  }
 }
 
 bool HandleMetaCommand(const std::string& line,
@@ -61,16 +64,19 @@ bool HandleMetaCommand(const std::string& line,
   for (const std::string& w : mad::Split(line, ' ')) {
     if (!w.empty()) words.push_back(w);
   }
+  // After OPEN the session runs against its durable database, not the
+  // in-memory one the shell started with.
+  mad::Database& current = session->database();
   const std::string& cmd = words[0];
   if (cmd == "\\q" || cmd == "\\quit") {
     *quit = true;
   } else if (cmd == "\\schema") {
-    std::cout << mad::text::FormatMadDiagram(*db);
+    std::cout << mad::text::FormatMadDiagram(current);
   } else if (cmd == "\\spec") {
-    std::cout << mad::text::FormatDatabaseSpec(*db);
+    std::cout << mad::text::FormatDatabaseSpec(current);
   } else if (cmd == "\\save" && words.size() == 2) {
     std::ofstream out(words[1]);
-    mad::Status s = out ? mad::WriteDatabase(*db, out)
+    mad::Status s = out ? mad::WriteDatabase(current, out)
                         : mad::Status::InvalidArgument("cannot open file");
     std::cout << (s.ok() ? "saved " + words[1] : s.ToString()) << "\n";
   } else if (cmd == "\\load" && words.size() == 2) {
@@ -130,7 +136,7 @@ int main() {
       continue;
     }
     for (const mad::mql::QueryResult& result : *results) {
-      PrintResult(*db, result);
+      PrintResult(session->database(), result);
     }
   }
   return 0;

@@ -110,19 +110,32 @@ struct ExplainStatement {
   SelectStatement select;
 };
 
-/// SET option [=] value: a session tuning command, e.g. `SET PARALLELISM 4`.
-/// The option name is a case-insensitive identifier interpreted by the
-/// session; values are non-negative integers.
+/// SET option [=] value: a session tuning command, e.g. `SET PARALLELISM 4`
+/// or `SET SYNC ON`. The option name is a case-insensitive identifier
+/// interpreted by the session; values are non-negative integers, with
+/// ON/OFF accepted as spellings of 1/0.
 struct SetOptionStatement {
   std::string option;
   int64_t value = 0;
 };
 
+/// OPEN '<directory>': attaches the session to a durable database
+/// directory, recovering its state (storage/durable_database.h). Subsequent
+/// mutations are write-ahead logged there.
+struct OpenStatement {
+  std::string directory;
+};
+
+/// CHECKPOINT: forces a new checkpoint generation of the open durable
+/// database.
+struct CheckpointStatement {};
+
 using Statement =
     std::variant<SelectStatement, CreateAtomTypeStatement,
                  CreateLinkTypeStatement, InsertAtomStatement,
                  InsertLinkStatement, DeleteStatement, UpdateStatement,
-                 ExplainStatement, SetOptionStatement>;
+                 ExplainStatement, SetOptionStatement, OpenStatement,
+                 CheckpointStatement>;
 
 }  // namespace mql
 }  // namespace mad

@@ -69,6 +69,10 @@ const char* TokenKindName(TokenKind kind) {
       return "COUNT";
     case TokenKind::kForAll:
       return "FORALL";
+    case TokenKind::kOpen:
+      return "OPEN";
+    case TokenKind::kCheckpoint:
+      return "CHECKPOINT";
     case TokenKind::kLParen:
       return "'('";
     case TokenKind::kRParen:
@@ -123,6 +127,7 @@ constexpr Keyword kKeywords[] = {
     {"to", TokenKind::kTo},         {"update", TokenKind::kUpdate},
     {"set", TokenKind::kSet},       {"explain", TokenKind::kExplain},
     {"count", TokenKind::kCount},   {"forall", TokenKind::kForAll},
+    {"open", TokenKind::kOpen},     {"checkpoint", TokenKind::kCheckpoint},
 };
 
 }  // namespace

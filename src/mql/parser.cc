@@ -91,23 +91,45 @@ class Parser {
         // Statement-initial SET is a session option; SET also appears
         // mid-statement in UPDATE ... SET, which ParseUpdate consumes.
         return ParseSetOption();
+      case TokenKind::kOpen:
+        return ParseOpen();
+      case TokenKind::kCheckpoint:
+        Advance();
+        return Statement(CheckpointStatement{});
       default:
         return Error(
-            "expected SELECT, CREATE, INSERT, UPDATE, DELETE, SET, or "
-            "EXPLAIN");
+            "expected SELECT, CREATE, INSERT, UPDATE, DELETE, SET, OPEN, "
+            "CHECKPOINT, or EXPLAIN");
     }
   }
 
-  // SET option [=] integer
+  // SET option [=] (integer | ON | OFF)
   Result<Statement> ParseSetOption() {
     MAD_RETURN_IF_ERROR(Expect(TokenKind::kSet));
     SetOptionStatement stmt;
     MAD_ASSIGN_OR_RETURN(stmt.option, ExpectIdentifier("option name"));
     Accept(TokenKind::kEq);  // optional '='
+    if (Peek().kind == TokenKind::kIdentifier &&
+        (EqualsIgnoreCase(Peek().text, "on") ||
+         EqualsIgnoreCase(Peek().text, "off"))) {
+      stmt.value = EqualsIgnoreCase(Advance().text, "on") ? 1 : 0;
+      return Statement(std::move(stmt));
+    }
     if (Peek().kind != TokenKind::kInteger) {
-      return Error("expected non-negative integer option value");
+      return Error("expected non-negative integer, ON, or OFF option value");
     }
     stmt.value = Advance().int_value;
+    return Statement(std::move(stmt));
+  }
+
+  // OPEN '<directory>'
+  Result<Statement> ParseOpen() {
+    MAD_RETURN_IF_ERROR(Expect(TokenKind::kOpen));
+    if (Peek().kind != TokenKind::kString) {
+      return Error("expected a quoted directory path after OPEN");
+    }
+    OpenStatement stmt;
+    stmt.directory = Advance().text;
     return Statement(std::move(stmt));
   }
 

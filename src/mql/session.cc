@@ -145,6 +145,10 @@ Result<QueryResult> Session::Run(Statement statement) {
           return RunExplain(std::move(stmt));
         } else if constexpr (std::is_same_v<T, SetOptionStatement>) {
           return RunSetOption(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, OpenStatement>) {
+          return RunOpen(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, CheckpointStatement>) {
+          return RunCheckpoint(std::move(stmt));
         } else {
           return RunDelete(std::move(stmt));
         }
@@ -522,8 +526,67 @@ Result<QueryResult> Session::RunSetOption(SetOptionStatement stmt) {
                   " thread" + (options_.parallelism == 1 ? "" : "s");
     return result;
   }
+  if (EqualsIgnoreCase(stmt.option, "sync")) {
+    if (stmt.value != 0 && stmt.value != 1) {
+      return Status::InvalidArgument("SYNC must be ON/1 or OFF/0");
+    }
+    options_.sync = stmt.value == 1;
+    if (durable_ != nullptr) durable_->set_sync(options_.sync);
+    QueryResult result;
+    result.message = options_.sync
+                         ? "sync on: every mutation is fsync'd"
+                         : "sync off: mutations batch in the group-commit "
+                           "buffer";
+    if (durable_ != nullptr) result.durability = durable_->stats();
+    return result;
+  }
   return Status::InvalidArgument("unknown session option '" + stmt.option +
-                                 "'; available: PARALLELISM");
+                                 "'; available: PARALLELISM, SYNC");
+}
+
+Result<QueryResult> Session::RunOpen(OpenStatement stmt) {
+  DurabilityOptions options;
+  options.sync = options_.sync;
+  MAD_ASSIGN_OR_RETURN(std::unique_ptr<DurableDatabase> durable,
+                       DurableDatabase::Open(stmt.directory, options));
+  // Swap the session over: molecule types registered against the previous
+  // database describe structures that may not exist in the new one.
+  durable_ = std::move(durable);
+  db_ = &durable_->database();
+  registry_.clear();
+
+  DurabilityStats stats = durable_->stats();
+  QueryResult result;
+  result.message =
+      "opened '" + stmt.directory + "' at generation " +
+      std::to_string(stats.generation) +
+      (stats.created_fresh
+           ? " (fresh)"
+           : " (" + std::to_string(stats.replayed_records) +
+                 " WAL record(s) replayed" +
+                 (stats.wal_torn_tail
+                      ? ", torn tail of " +
+                            std::to_string(stats.wal_discarded_bytes) +
+                            " byte(s) discarded"
+                      : "") +
+                 ")");
+  result.durability = std::move(stats);
+  return result;
+}
+
+Result<QueryResult> Session::RunCheckpoint(CheckpointStatement) {
+  if (durable_ == nullptr) {
+    return Status::InvalidArgument(
+        "CHECKPOINT requires a durable database; OPEN '<directory>' first");
+  }
+  MAD_RETURN_IF_ERROR(durable_->Checkpoint());
+  DurabilityStats stats = durable_->stats();
+  QueryResult result;
+  result.message = "checkpoint written: generation " +
+                   std::to_string(stats.generation) + ", " +
+                   std::to_string(stats.last_checkpoint_bytes) + " byte(s)";
+  result.durability = std::move(stats);
+  return result;
 }
 
 Result<QueryResult> Session::RunDelete(DeleteStatement stmt) {

@@ -12,6 +12,7 @@
 #include "molecule/statistics.h"
 #include "mql/ast.h"
 #include "storage/database.h"
+#include "storage/durable_database.h"
 #include "util/result.h"
 
 namespace mad {
@@ -38,6 +39,8 @@ struct QueryResult {
   size_t affected = 0;
   /// Counters of the derivation run(s) behind a SELECT, when one happened.
   std::optional<DerivationStats> derivation;
+  /// Durability counters after OPEN / CHECKPOINT / SET SYNC.
+  std::optional<DurabilityStats> durability;
 };
 
 /// Execution tuning knobs.
@@ -51,6 +54,9 @@ struct SessionOptions {
   /// adjustable at runtime with `SET PARALLELISM n`. Results are identical
   /// at every setting.
   unsigned parallelism = 0;
+  /// Per-mutation fsync for databases attached with OPEN; adjustable at
+  /// runtime with `SET SYNC ON|OFF`.
+  bool sync = false;
 };
 
 /// An MQL session: parses statements, translates them to the molecule
@@ -82,6 +88,10 @@ class Session {
 
   Database& database() { return *db_; }
 
+  /// The durable database attached with OPEN, or nullptr when the session
+  /// runs against the in-memory database it was constructed with.
+  DurableDatabase* durable() { return durable_.get(); }
+
  private:
   Result<QueryResult> RunSelect(SelectStatement stmt);
   Result<QueryResult> RunCreateAtomType(CreateAtomTypeStatement stmt);
@@ -92,10 +102,15 @@ class Session {
   Result<QueryResult> RunUpdate(UpdateStatement stmt);
   Result<QueryResult> RunExplain(ExplainStatement stmt);
   Result<QueryResult> RunSetOption(SetOptionStatement stmt);
+  Result<QueryResult> RunOpen(OpenStatement stmt);
+  Result<QueryResult> RunCheckpoint(CheckpointStatement stmt);
 
   Database* db_;
   SessionOptions options_;
   std::map<std::string, MoleculeDescription> registry_;
+  /// Owns the durable database after OPEN; db_ then points at its wrapped
+  /// Database.
+  std::unique_ptr<DurableDatabase> durable_;
 };
 
 }  // namespace mql

@@ -40,6 +40,8 @@ enum class TokenKind {
   kExplain,
   kCount,
   kForAll,
+  kOpen,
+  kCheckpoint,
   // Symbols.
   kLParen,
   kRParen,

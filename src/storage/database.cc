@@ -13,6 +13,9 @@ Status Database::DefineAtomType(const std::string& aname, Schema description) {
   }
   atom_types_[aname] = std::make_unique<AtomType>(aname, std::move(description));
   atom_type_order_.push_back(aname);
+  if (listener_ != nullptr) {
+    listener_->OnDefineAtomType(aname, atom_types_[aname]->description());
+  }
   return Status::OK();
 }
 
@@ -37,6 +40,9 @@ Status Database::DefineLinkType(const std::string& lname,
   link_types_[lname] =
       std::make_unique<LinkType>(lname, first, second, cardinality);
   link_type_order_.push_back(lname);
+  if (listener_ != nullptr) {
+    listener_->OnDefineLinkType(lname, first, second, cardinality);
+  }
   return Status::OK();
 }
 
@@ -56,6 +62,7 @@ Status Database::DropAtomType(const std::string& aname) {
   atom_type_order_.erase(
       std::find(atom_type_order_.begin(), atom_type_order_.end(), aname));
   indexes_.erase(aname);
+  if (listener_ != nullptr) listener_->OnDropAtomType(aname);
   return Status::OK();
 }
 
@@ -66,6 +73,7 @@ Status Database::DropLinkType(const std::string& lname) {
   link_types_.erase(lname);
   link_type_order_.erase(
       std::find(link_type_order_.begin(), link_type_order_.end(), lname));
+  if (listener_ != nullptr) listener_->OnDropLinkType(lname);
   return Status::OK();
 }
 
@@ -86,6 +94,7 @@ Status Database::InsertAtomWithId(const std::string& aname, AtomId id,
   Atom atom{id, std::move(values)};
   MAD_RETURN_IF_ERROR(at->mutable_occurrence().Insert(atom));
   IndexInsert(aname, atom);
+  if (listener_ != nullptr) listener_->OnInsertAtom(aname, atom);
   return Status::OK();
 }
 
@@ -103,6 +112,7 @@ Status Database::UpdateAtom(const std::string& aname, AtomId id,
   Atom atom{id, std::move(values)};
   MAD_RETURN_IF_ERROR(at->mutable_occurrence().Insert(atom));
   IndexInsert(aname, atom);
+  if (listener_ != nullptr) listener_->OnUpdateAtom(aname, atom);
   return Status::OK();
 }
 
@@ -124,10 +134,13 @@ Status Database::DeleteAtom(const std::string& aname, AtomId id) {
       if (hit) doomed.push_back(link);
     }
     for (const Link& link : doomed) {
+      // Direct occurrence erases: a replayed DeleteAtom cascades these
+      // identically, so they are deliberately not re-notified.
       MAD_RETURN_IF_ERROR(
           lt->mutable_occurrence().Erase(link.first, link.second));
     }
   }
+  if (listener_ != nullptr) listener_->OnDeleteAtom(aname, id);
   return Status::OK();
 }
 
@@ -167,13 +180,17 @@ Status Database::InsertLink(const std::string& lname, AtomId first,
         "): atom #" + std::to_string(second.value) +
         " already has a partner");
   }
-  return lt->mutable_occurrence().Insert(first, second);
+  MAD_RETURN_IF_ERROR(lt->mutable_occurrence().Insert(first, second));
+  if (listener_ != nullptr) listener_->OnInsertLink(lname, first, second);
+  return Status::OK();
 }
 
 Status Database::EraseLink(const std::string& lname, AtomId first,
                            AtomId second) {
   MAD_ASSIGN_OR_RETURN(LinkType * lt, GetMutableLinkType(lname));
-  return lt->mutable_occurrence().Erase(first, second);
+  MAD_RETURN_IF_ERROR(lt->mutable_occurrence().Erase(first, second));
+  if (listener_ != nullptr) listener_->OnEraseLink(lname, first, second);
+  return Status::OK();
 }
 
 bool Database::HasAtomType(const std::string& aname) const {
@@ -280,6 +297,7 @@ Status Database::CreateIndex(const std::string& aname,
       std::make_unique<AttributeIndex>(aname, attribute, value_index);
   for (const Atom& atom : at->occurrence().atoms()) index->Insert(atom);
   per_type[attribute] = std::move(index);
+  if (listener_ != nullptr) listener_->OnCreateIndex(aname, attribute);
   return Status::OK();
 }
 
@@ -290,6 +308,7 @@ Status Database::DropIndex(const std::string& aname,
     return Status::NotFound("no index on " + aname + "." + attribute);
   }
   if (type_it->second.empty()) indexes_.erase(type_it);
+  if (listener_ != nullptr) listener_->OnDropIndex(aname, attribute);
   return Status::OK();
 }
 

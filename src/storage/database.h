@@ -14,6 +14,46 @@
 
 namespace mad {
 
+/// Observer of successful Database mutations, in call order. The durability
+/// subsystem (storage/durable_database.h) installs one to mirror every
+/// mutation into the write-ahead log; replaying the notifications against a
+/// fresh Database reproduces the exact same state.
+///
+/// Contract:
+///  * notified only *after* a mutation succeeded — failed calls are silent;
+///  * cascaded side effects that a replayed call would reproduce by itself
+///    are NOT re-notified (DeleteAtom's referential link erases), while
+///    cascades that run through the public API are (DropAtomType notifies
+///    one OnDropLinkType per doomed link type, then OnDropAtomType; the
+///    replayed drops are harmlessly idempotent in that order);
+///  * listeners must not mutate the database from inside a callback.
+class MutationListener {
+ public:
+  virtual ~MutationListener() = default;
+
+  virtual void OnDefineAtomType(const std::string& aname,
+                                const Schema& description) = 0;
+  virtual void OnDefineLinkType(const std::string& lname,
+                                const std::string& first,
+                                const std::string& second,
+                                LinkCardinality cardinality) = 0;
+  virtual void OnDropAtomType(const std::string& aname) = 0;
+  virtual void OnDropLinkType(const std::string& lname) = 0;
+  /// Covers both InsertAtom and InsertAtomWithId; `atom` carries the id.
+  virtual void OnInsertAtom(const std::string& aname, const Atom& atom) = 0;
+  /// `atom` carries the post-update values.
+  virtual void OnUpdateAtom(const std::string& aname, const Atom& atom) = 0;
+  virtual void OnDeleteAtom(const std::string& aname, AtomId id) = 0;
+  virtual void OnInsertLink(const std::string& lname, AtomId first,
+                            AtomId second) = 0;
+  virtual void OnEraseLink(const std::string& lname, AtomId first,
+                           AtomId second) = 0;
+  virtual void OnCreateIndex(const std::string& aname,
+                             const std::string& attribute) = 0;
+  virtual void OnDropIndex(const std::string& aname,
+                           const std::string& attribute) = 0;
+};
+
 /// A MAD database (Def. 3): DB = <AT, LT>, a set of atom types plus a set of
 /// link types over them, together with their occurrences (the atom
 /// networks). The Database also owns atom-id assignment and enforces
@@ -125,6 +165,28 @@ class Database {
   /// Allocates a fresh, never-reused atom id.
   AtomId NewAtomId() { return AtomId{++last_atom_id_}; }
 
+  /// The highest atom id ever assigned (0 on an empty database). Persisted
+  /// by the binary checkpoint codec so deleted ids stay retired across
+  /// restarts.
+  uint64_t last_atom_id() const { return last_atom_id_; }
+
+  /// Advances the id counter to at least `id` (never lowers it). Used when
+  /// restoring a database whose highest-ever id exceeds every surviving
+  /// atom's id.
+  void EnsureAtomIdAtLeast(uint64_t id) {
+    if (id > last_atom_id_) last_atom_id_ = id;
+  }
+
+  // --- Mutation observation --------------------------------------------------
+
+  /// Installs (or, with nullptr, removes) the single mutation listener.
+  /// The listener is borrowed and must outlive the database or be removed
+  /// before it dies.
+  void SetMutationListener(MutationListener* listener) {
+    listener_ = listener;
+  }
+  MutationListener* mutation_listener() const { return listener_; }
+
   /// A type name based on `prefix` that clashes with no existing atom or
   /// link type ("prefix", "prefix@2", "prefix@3", ...).
   std::string UniqueAtomTypeName(const std::string& prefix) const;
@@ -160,6 +222,7 @@ class Database {
   std::map<std::string, std::unique_ptr<LinkType>> link_types_;
   std::vector<std::string> link_type_order_;
   uint64_t last_atom_id_ = 0;
+  MutationListener* listener_ = nullptr;
 };
 
 }  // namespace mad

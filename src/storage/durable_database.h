@@ -1,0 +1,158 @@
+#ifndef MAD_STORAGE_DURABLE_DATABASE_H_
+#define MAD_STORAGE_DURABLE_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/database.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// Tuning knobs for DurableDatabase::Open.
+struct DurabilityOptions {
+  /// Name given to the database when the directory holds no checkpoint yet.
+  std::string database_name = "db";
+  /// When true every mutation is fsync'd before the mutating call returns;
+  /// when false mutations batch in the group-commit buffer (an OS or
+  /// process crash may lose the unsynced tail — never more).
+  bool sync = false;
+  /// Flush threshold of the WAL group-commit buffer.
+  size_t group_commit_bytes = 1 << 16;
+  /// How many generations before the current one survive checkpoint GC.
+  /// Keeping one lets recovery fall back should the newest checkpoint be
+  /// damaged after the fact.
+  uint64_t keep_generations = 1;
+};
+
+/// Counters surfaced to MQL sessions (printed like DerivationStats).
+struct DurabilityStats {
+  std::string directory;
+  uint64_t generation = 0;
+  bool sync = false;
+  // Recovery (filled at Open).
+  bool created_fresh = false;
+  uint64_t checkpoints_skipped = 0;
+  uint64_t replayed_records = 0;
+  uint64_t wal_discarded_bytes = 0;
+  bool wal_torn_tail = false;
+  double recovery_ms = 0.0;
+  // Log activity since Open.
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t flush_count = 0;
+  uint64_t sync_count = 0;
+  // Checkpoints taken since Open.
+  uint64_t checkpoint_count = 0;
+  uint64_t last_checkpoint_bytes = 0;
+  double last_checkpoint_ms = 0.0;
+};
+
+/// Owns a Database whose every mutation is mirrored into a write-ahead log,
+/// so the state survives a crash at any instant (see recovery.h for the
+/// startup path and DESIGN.md §7 for the invariants).
+///
+/// The wrapper installs itself as the Database's MutationListener: all
+/// mutations — MQL statements, direct API calls, algebra operators that
+/// enlarge the database — are logged with no cooperation from call sites.
+/// Queries read the wrapped Database directly.
+///
+/// Listener callbacks cannot fail, so a WAL append error is remembered and
+/// returned from the next Flush()/Sync()/Checkpoint() (and by last_error());
+/// the in-memory database stays usable.
+class DurableDatabase : public MutationListener {
+ public:
+  /// Opens (creating if needed) a durable database directory, recovers the
+  /// newest consistent state, truncates any torn WAL tail, and resumes
+  /// logging. A fresh directory immediately writes an empty generation-0
+  /// checkpoint so the directory is recoverable from the start.
+  static Result<std::unique_ptr<DurableDatabase>> Open(
+      const std::string& dir, const DurabilityOptions& options = {});
+
+  ~DurableDatabase() override;
+
+  DurableDatabase(const DurableDatabase&) = delete;
+  DurableDatabase& operator=(const DurableDatabase&) = delete;
+
+  Database& database() { return *db_; }
+  const Database& database() const { return *db_; }
+
+  const std::string& directory() const { return dir_; }
+  uint64_t generation() const { return generation_; }
+
+  /// Serializes the current state to a new checkpoint generation: syncs the
+  /// WAL, writes checkpoint-(g+1) through a temp file + atomic rename +
+  /// directory fsync, rotates to an empty wal-(g+1), and garbage-collects
+  /// generations older than keep_generations.
+  Status Checkpoint();
+
+  /// Pushes the group-commit buffer to the OS (no fsync).
+  Status Flush();
+
+  /// Makes everything logged so far durable.
+  Status Sync();
+
+  void set_sync(bool sync);
+  bool sync_enabled() const { return wal_->sync_enabled(); }
+
+  /// First WAL append error since Open, or OK.
+  Status last_error() const { return append_error_; }
+
+  DurabilityStats stats() const;
+
+  // MutationListener — one WAL record per successful mutation.
+  void OnDefineAtomType(const std::string& aname,
+                        const Schema& description) override;
+  void OnDefineLinkType(const std::string& lname, const std::string& first,
+                        const std::string& second,
+                        LinkCardinality cardinality) override;
+  void OnDropAtomType(const std::string& aname) override;
+  void OnDropLinkType(const std::string& lname) override;
+  void OnInsertAtom(const std::string& aname, const Atom& atom) override;
+  void OnUpdateAtom(const std::string& aname, const Atom& atom) override;
+  void OnDeleteAtom(const std::string& aname, AtomId id) override;
+  void OnInsertLink(const std::string& lname, AtomId first,
+                    AtomId second) override;
+  void OnEraseLink(const std::string& lname, AtomId first,
+                   AtomId second) override;
+  void OnCreateIndex(const std::string& aname,
+                     const std::string& attribute) override;
+  void OnDropIndex(const std::string& aname,
+                   const std::string& attribute) override;
+
+ private:
+  DurableDatabase() = default;
+
+  void Log(WalRecord record);
+
+  std::string dir_;
+  DurabilityOptions options_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t generation_ = 0;
+  Status append_error_ = Status::OK();
+
+  // Recovery facts for stats().
+  bool created_fresh_ = false;
+  uint64_t checkpoints_skipped_ = 0;
+  uint64_t replayed_records_ = 0;
+  uint64_t wal_discarded_bytes_ = 0;
+  bool wal_torn_tail_ = false;
+  double recovery_ms_ = 0.0;
+
+  // Carried across WAL rotations (WalWriter counters reset per file).
+  uint64_t records_appended_base_ = 0;
+  uint64_t bytes_appended_base_ = 0;
+  uint64_t flush_count_base_ = 0;
+  uint64_t sync_count_base_ = 0;
+
+  uint64_t checkpoint_count_ = 0;
+  uint64_t last_checkpoint_bytes_ = 0;
+  double last_checkpoint_ms_ = 0.0;
+};
+
+}  // namespace mad
+
+#endif  // MAD_STORAGE_DURABLE_DATABASE_H_

@@ -1,0 +1,149 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "storage/binary_codec.h"
+#include "storage/wal.h"
+
+namespace mad {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCheckpointPrefix[] = "checkpoint-";
+constexpr char kCheckpointSuffix[] = ".madb";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".log";
+
+/// Parses "<prefix><decimal><suffix>"; false on any mismatch.
+bool ParseGeneration(const std::string& filename, const std::string& prefix,
+                     const std::string& suffix, uint64_t* generation) {
+  if (filename.size() <= prefix.size() + suffix.size()) return false;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return false;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return false;
+  }
+  std::string digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  // Reject values that would overflow uint64.
+  if (digits.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    uint64_t next = value * 10 + static_cast<uint64_t>(c - '0');
+    if (next < value) return false;
+    value = next;
+  }
+  *generation = value;
+  return true;
+}
+
+}  // namespace
+
+std::string CheckpointFileName(uint64_t generation) {
+  return kCheckpointPrefix + std::to_string(generation) + kCheckpointSuffix;
+}
+
+std::string WalFileName(uint64_t generation) {
+  return kWalPrefix + std::to_string(generation) + kWalSuffix;
+}
+
+std::vector<uint64_t> ListCheckpointGenerations(const std::string& dir) {
+  std::vector<uint64_t> generations;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t generation = 0;
+    if (ParseGeneration(entry.path().filename().string(), kCheckpointPrefix,
+                        kCheckpointSuffix, &generation)) {
+      generations.push_back(generation);
+    }
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return Status::Internal("error reading " + path);
+  return std::move(contents).str();
+}
+
+Result<RecoveryResult> RecoverDatabase(const std::string& dir,
+                                       const std::string& database_name) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("durable database directory missing: " + dir);
+  }
+
+  RecoveryResult result;
+  std::vector<uint64_t> generations = ListCheckpointGenerations(dir);
+
+  if (generations.empty()) {
+    result.db = std::make_unique<Database>(database_name);
+    result.generation = 0;
+    result.created_fresh = true;
+  } else {
+    // Newest checkpoint that validates wins; corrupted ones are skipped.
+    Status last_error = Status::OK();
+    for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+      std::string path = (fs::path(dir) / CheckpointFileName(*it)).string();
+      auto bytes_or = ReadFileToString(path);
+      if (!bytes_or.ok()) {
+        last_error = bytes_or.status();
+        ++result.checkpoints_skipped;
+        continue;
+      }
+      auto db_or = DeserializeDatabaseBinary(*bytes_or);
+      if (!db_or.ok()) {
+        last_error = db_or.status();
+        ++result.checkpoints_skipped;
+        continue;
+      }
+      result.db = std::move(db_or).value();
+      result.generation = *it;
+      break;
+    }
+    if (result.db == nullptr) {
+      return Status::Internal("no valid checkpoint in " + dir +
+                              " (last error: " + last_error.ToString() + ")");
+    }
+  }
+
+  // Replay this generation's WAL tail. A missing WAL simply means no
+  // mutation survived since the checkpoint.
+  std::string wal_path =
+      (fs::path(dir) / WalFileName(result.generation)).string();
+  auto wal_or = ReadWalFile(wal_path);
+  if (wal_or.ok()) {
+    result.wal_valid_bytes = wal_or->valid_bytes;
+    result.wal_discarded_bytes = wal_or->discarded_bytes;
+    result.wal_torn_tail = wal_or->torn_tail;
+    for (const WalRecord& record : wal_or->records) {
+      Status applied = ApplyWalRecord(record, result.db.get());
+      if (!applied.ok()) {
+        return Status::Internal("WAL replay failed at record " +
+                                std::to_string(result.replayed_records) +
+                                " of " + wal_path + ": " +
+                                applied.ToString());
+      }
+      ++result.replayed_records;
+    }
+  } else if (wal_or.status().code() != StatusCode::kNotFound) {
+    return wal_or.status();
+  }
+
+  return result;
+}
+
+}  // namespace mad

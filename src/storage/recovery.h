@@ -1,0 +1,61 @@
+#ifndef MAD_STORAGE_RECOVERY_H_
+#define MAD_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// File naming inside a durable database directory. Generation g pairs
+/// `checkpoint-<g>.madb` (the state at checkpoint time) with `wal-<g>.log`
+/// (every mutation applied since). A fresh directory starts at generation 0
+/// with an empty checkpoint.
+std::string CheckpointFileName(uint64_t generation);
+std::string WalFileName(uint64_t generation);
+
+/// Checkpoint generations present in `dir`, ascending. Non-matching file
+/// names are ignored.
+std::vector<uint64_t> ListCheckpointGenerations(const std::string& dir);
+
+/// Reads an entire file into a string; NotFound if it cannot be opened.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Outcome of opening a durable database directory.
+struct RecoveryResult {
+  std::unique_ptr<Database> db;
+  /// Generation the database now runs at (its WAL extends this
+  /// generation's checkpoint).
+  uint64_t generation = 0;
+  /// True when no checkpoint existed and an empty database was started.
+  bool created_fresh = false;
+  /// Checkpoints whose CRC or structure was invalid and that were skipped
+  /// in favour of an older generation.
+  uint64_t checkpoints_skipped = 0;
+  uint64_t replayed_records = 0;
+  /// WAL scan outcome (see WalReadResult): the torn tail, if any, must be
+  /// truncated before appending to the log again.
+  uint64_t wal_valid_bytes = 0;
+  uint64_t wal_discarded_bytes = 0;
+  bool wal_torn_tail = false;
+};
+
+/// Opens `dir` and reconstructs the most recent durable state: loads the
+/// newest checkpoint that passes validation (falling back to older
+/// generations), then replays that generation's WAL tail, tolerating a torn
+/// tail (prefix consistency: the result is the state after some prefix of
+/// the logged mutations, and every fsync'd mutation is included).
+///
+/// A directory without any checkpoint yields a fresh empty database named
+/// `database_name` at generation 0. Checkpoints present but all invalid is
+/// an error — recovery never silently discards a whole database.
+Result<RecoveryResult> RecoverDatabase(const std::string& dir,
+                                       const std::string& database_name);
+
+}  // namespace mad
+
+#endif  // MAD_STORAGE_RECOVERY_H_

@@ -1,8 +1,12 @@
 #include "storage/serializer.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
+#include "storage/binary_codec.h"
 #include "util/string_util.h"
 
 namespace mad {
@@ -69,9 +73,15 @@ std::string EncodeValue(const Value& v) {
     case DataType::kInt64:
       return "I" + std::to_string(v.AsInt64());
     case DataType::kDouble: {
+      double d = v.AsDouble();
+      // Non-finite values get explicit spellings — the default ostream
+      // renderings ("nan", "-nan", "inf") vary across platforms and never
+      // round-tripped reliably through stod.
+      if (std::isnan(d)) return "Dnan";
+      if (std::isinf(d)) return d > 0 ? "Dinf" : "D-inf";
       std::ostringstream os;
       os.precision(17);
-      os << v.AsDouble();
+      os << d;
       return "D" + os.str();
     }
     case DataType::kString:
@@ -87,19 +97,52 @@ Result<Value> DecodeValue(const std::string& token) {
   std::string body = token.substr(1);
   switch (token[0]) {
     case 'N':
+      if (!body.empty()) {
+        return Status::ParseError("bad null token '" + token + "'");
+      }
       return Value();
     case 'I':
       try {
-        return Value(static_cast<int64_t>(std::stoll(body)));
+        size_t consumed = 0;
+        int64_t i = std::stoll(body, &consumed);
+        if (consumed != body.size()) {
+          return Status::ParseError("trailing garbage in integer token '" +
+                                    token + "'");
+        }
+        return Value(i);
       } catch (...) {
         return Status::ParseError("bad integer token '" + token + "'");
       }
-    case 'D':
-      try {
-        return Value(std::stod(body));
-      } catch (...) {
+    case 'D': {
+      // Exactly three non-finite spellings exist; stod's looser forms
+      // ("infinity", "nan(char-seq)", hex floats overflowing to inf) are
+      // rejected so every accepted token is one this library wrote.
+      if (body == "nan") {
+        return Value(std::numeric_limits<double>::quiet_NaN());
+      }
+      if (body == "inf") return Value(std::numeric_limits<double>::infinity());
+      if (body == "-inf") {
+        return Value(-std::numeric_limits<double>::infinity());
+      }
+      // strtod, not stod: stod throws out_of_range on subnormals, which are
+      // legitimate values that must round-trip; strtod returns them
+      // correctly rounded (and turns true overflow into inf, rejected
+      // below).
+      if (body.empty()) {
         return Status::ParseError("bad double token '" + token + "'");
       }
+      char* end = nullptr;
+      double d = std::strtod(body.c_str(), &end);
+      if (end != body.c_str() + body.size()) {
+        return Status::ParseError("trailing garbage in double token '" +
+                                  token + "'");
+      }
+      if (!std::isfinite(d)) {
+        return Status::ParseError("non-finite double token '" + token +
+                                  "' (use Dnan, Dinf, or D-inf)");
+      }
+      return Value(d);
+    }
     case 'S': {
       MAD_ASSIGN_OR_RETURN(std::string decoded, PercentDecode(body));
       return Value(std::move(decoded));
@@ -316,8 +359,11 @@ Result<std::unique_ptr<Database>> DeserializeDatabase(const std::string& text) {
 }
 
 Result<std::unique_ptr<Database>> CloneDatabase(const Database& db) {
-  MAD_ASSIGN_OR_RETURN(std::string text, SerializeDatabase(db));
-  return DeserializeDatabase(text);
+  // Round trip through the binary codec: considerably faster than the text
+  // format (no number formatting/parsing) and preserves the atom-id
+  // counter, which the text format does not carry.
+  MAD_ASSIGN_OR_RETURN(std::string bytes, SerializeDatabaseBinary(db));
+  return DeserializeDatabaseBinary(bytes);
 }
 
 }  // namespace mad

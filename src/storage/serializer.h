@@ -26,7 +26,11 @@ namespace mad {
 /// Values are encoded as N (null), I<int>, D<double>, B0/B1, or
 /// S<percent-encoded-utf8>; percent-encoding covers '%', whitespace and
 /// control characters, so the format stays line-parsable for arbitrary
-/// string contents.
+/// string contents. Non-finite doubles use the explicit spellings Dnan,
+/// Dinf, and D-inf; finite doubles are written with 17 significant digits
+/// so every bit pattern (including -0.0) round-trips. The reader is strict:
+/// a numeric token with trailing garbage or an unrecognised non-finite
+/// spelling is a ParseError.
 Status WriteDatabase(const Database& db, std::ostream& out);
 
 /// Reads a database previously written by WriteDatabase. The stream must
@@ -37,8 +41,9 @@ Result<std::unique_ptr<Database>> ReadDatabase(std::istream& in);
 Result<std::string> SerializeDatabase(const Database& db);
 Result<std::unique_ptr<Database>> DeserializeDatabase(const std::string& text);
 
-/// Deep copy of a database — atom ids, occurrences, and index definitions
-/// included (implemented as a serialization round trip).
+/// Deep copy of a database — atom ids, occurrences, index definitions, and
+/// the atom-id counter included (implemented as a round trip through the
+/// binary codec, storage/binary_codec.h).
 Result<std::unique_ptr<Database>> CloneDatabase(const Database& db);
 
 }  // namespace mad

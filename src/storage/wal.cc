@@ -1,0 +1,340 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "storage/binary_codec.h"
+#include "util/crc32.h"
+
+namespace mad {
+
+namespace {
+
+/// Upper bound on a single framed record; larger length prefixes can only
+/// come from corruption and are treated as a torn tail.
+constexpr uint64_t kMaxRecordLength = uint64_t{1} << 30;
+
+constexpr uint8_t kMinKind = static_cast<uint8_t>(WalRecord::Kind::kDefineAtomType);
+constexpr uint8_t kMaxKind = static_cast<uint8_t>(WalRecord::Kind::kDropIndex);
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---- Record payload codec -------------------------------------------------
+
+std::string EncodeWalRecordPayload(const WalRecord& record) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(record.kind));
+  switch (record.kind) {
+    case WalRecord::Kind::kDefineAtomType:
+      w.PutString(record.name);
+      w.PutVarint(record.schema.attribute_count());
+      for (const AttributeDescription& attr : record.schema.attributes()) {
+        w.PutString(attr.name);
+        w.PutU8(static_cast<uint8_t>(attr.type));
+      }
+      break;
+    case WalRecord::Kind::kDefineLinkType:
+      w.PutString(record.name);
+      w.PutString(record.first);
+      w.PutString(record.second);
+      w.PutU8(static_cast<uint8_t>(record.cardinality));
+      break;
+    case WalRecord::Kind::kDropAtomType:
+    case WalRecord::Kind::kDropLinkType:
+      w.PutString(record.name);
+      break;
+    case WalRecord::Kind::kInsertAtom:
+    case WalRecord::Kind::kUpdateAtom:
+      w.PutString(record.name);
+      w.PutVarint(record.id);
+      w.PutVarint(record.values.size());
+      for (const Value& v : record.values) w.PutValue(v);
+      break;
+    case WalRecord::Kind::kDeleteAtom:
+      w.PutString(record.name);
+      w.PutVarint(record.id);
+      break;
+    case WalRecord::Kind::kInsertLink:
+    case WalRecord::Kind::kEraseLink:
+      w.PutString(record.name);
+      w.PutVarint(record.id);
+      w.PutVarint(record.id2);
+      break;
+    case WalRecord::Kind::kCreateIndex:
+    case WalRecord::Kind::kDropIndex:
+      w.PutString(record.name);
+      w.PutString(record.attribute);
+      break;
+  }
+  return w.TakeBytes();
+}
+
+Result<WalRecord> DecodeWalRecordPayload(std::string_view payload) {
+  ByteReader r(payload);
+  MAD_ASSIGN_OR_RETURN(uint8_t kind_byte, r.GetU8());
+  if (kind_byte < kMinKind || kind_byte > kMaxKind) {
+    return Status::ParseError("unknown WAL record kind " +
+                              std::to_string(kind_byte));
+  }
+  WalRecord record;
+  record.kind = static_cast<WalRecord::Kind>(kind_byte);
+  switch (record.kind) {
+    case WalRecord::Kind::kDefineAtomType: {
+      MAD_ASSIGN_OR_RETURN(record.name, r.GetString());
+      MAD_ASSIGN_OR_RETURN(uint64_t attr_count, r.GetVarint());
+      if (attr_count > kMaxRecordLength) {
+        return Status::ParseError("WAL attribute count out of range");
+      }
+      for (uint64_t i = 0; i < attr_count; ++i) {
+        MAD_ASSIGN_OR_RETURN(std::string attr, r.GetString());
+        MAD_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+        if (type < static_cast<uint8_t>(DataType::kInt64) ||
+            type > static_cast<uint8_t>(DataType::kBool)) {
+          return Status::ParseError("bad WAL attribute data type " +
+                                    std::to_string(type));
+        }
+        MAD_RETURN_IF_ERROR(
+            record.schema.AddAttribute(attr, static_cast<DataType>(type)));
+      }
+      break;
+    }
+    case WalRecord::Kind::kDefineLinkType: {
+      MAD_ASSIGN_OR_RETURN(record.name, r.GetString());
+      MAD_ASSIGN_OR_RETURN(record.first, r.GetString());
+      MAD_ASSIGN_OR_RETURN(record.second, r.GetString());
+      MAD_ASSIGN_OR_RETURN(uint8_t cardinality, r.GetU8());
+      if (cardinality > static_cast<uint8_t>(LinkCardinality::kManyToMany)) {
+        return Status::ParseError("bad WAL link cardinality " +
+                                  std::to_string(cardinality));
+      }
+      record.cardinality = static_cast<LinkCardinality>(cardinality);
+      break;
+    }
+    case WalRecord::Kind::kDropAtomType:
+    case WalRecord::Kind::kDropLinkType: {
+      MAD_ASSIGN_OR_RETURN(record.name, r.GetString());
+      break;
+    }
+    case WalRecord::Kind::kInsertAtom:
+    case WalRecord::Kind::kUpdateAtom: {
+      MAD_ASSIGN_OR_RETURN(record.name, r.GetString());
+      MAD_ASSIGN_OR_RETURN(record.id, r.GetVarint());
+      MAD_ASSIGN_OR_RETURN(uint64_t value_count, r.GetVarint());
+      if (value_count > kMaxRecordLength) {
+        return Status::ParseError("WAL value count out of range");
+      }
+      record.values.reserve(value_count);
+      for (uint64_t i = 0; i < value_count; ++i) {
+        MAD_ASSIGN_OR_RETURN(Value v, r.GetValue());
+        record.values.push_back(std::move(v));
+      }
+      break;
+    }
+    case WalRecord::Kind::kDeleteAtom: {
+      MAD_ASSIGN_OR_RETURN(record.name, r.GetString());
+      MAD_ASSIGN_OR_RETURN(record.id, r.GetVarint());
+      break;
+    }
+    case WalRecord::Kind::kInsertLink:
+    case WalRecord::Kind::kEraseLink: {
+      MAD_ASSIGN_OR_RETURN(record.name, r.GetString());
+      MAD_ASSIGN_OR_RETURN(record.id, r.GetVarint());
+      MAD_ASSIGN_OR_RETURN(record.id2, r.GetVarint());
+      break;
+    }
+    case WalRecord::Kind::kCreateIndex:
+    case WalRecord::Kind::kDropIndex: {
+      MAD_ASSIGN_OR_RETURN(record.name, r.GetString());
+      MAD_ASSIGN_OR_RETURN(record.attribute, r.GetString());
+      break;
+    }
+  }
+  if (!r.exhausted()) {
+    return Status::ParseError("trailing bytes in WAL record payload");
+  }
+  return record;
+}
+
+std::string FrameWalRecord(const WalRecord& record) {
+  std::string payload = EncodeWalRecordPayload(record);
+  ByteWriter frame;
+  frame.PutFixed32(static_cast<uint32_t>(payload.size()));
+  frame.PutFixed32(Crc32(payload));
+  std::string out = frame.TakeBytes();
+  out.append(payload);
+  return out;
+}
+
+// ---- WAL scan -------------------------------------------------------------
+
+WalReadResult ReadWal(std::string_view bytes) {
+  WalReadResult result;
+  ByteReader in(bytes);
+  while (!in.exhausted()) {
+    size_t frame_start = in.position();
+    auto stop_torn = [&]() {
+      result.valid_bytes = frame_start;
+      result.discarded_bytes = bytes.size() - frame_start;
+      result.torn_tail = true;
+    };
+    auto len_or = in.GetFixed32();
+    if (!len_or.ok()) {
+      stop_torn();
+      return result;
+    }
+    auto crc_or = in.GetFixed32();
+    if (!crc_or.ok() || *len_or > kMaxRecordLength ||
+        *len_or > in.remaining()) {
+      stop_torn();
+      return result;
+    }
+    auto payload_or = in.GetBytes(*len_or);
+    if (!payload_or.ok() || Crc32(*payload_or) != *crc_or) {
+      stop_torn();
+      return result;
+    }
+    auto record_or = DecodeWalRecordPayload(*payload_or);
+    if (!record_or.ok()) {
+      stop_torn();
+      return result;
+    }
+    result.records.push_back(std::move(record_or).value());
+    result.valid_bytes = in.position();
+  }
+  result.valid_bytes = bytes.size();
+  return result;
+}
+
+Result<WalReadResult> ReadWalFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open WAL file " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("error reading WAL file " + path);
+  }
+  std::string bytes = std::move(contents).str();
+  return ReadWal(bytes);
+}
+
+// ---- Replay ---------------------------------------------------------------
+
+Status ApplyWalRecord(const WalRecord& record, Database* db) {
+  switch (record.kind) {
+    case WalRecord::Kind::kDefineAtomType:
+      return db->DefineAtomType(record.name, record.schema);
+    case WalRecord::Kind::kDefineLinkType:
+      return db->DefineLinkType(record.name, record.first, record.second,
+                                record.cardinality);
+    case WalRecord::Kind::kDropAtomType:
+      return db->DropAtomType(record.name);
+    case WalRecord::Kind::kDropLinkType:
+      // DropAtomType cascades are logged as explicit OnDropLinkType records
+      // before the OnDropAtomType record, so a replayed drop may find the
+      // link type already gone — that is the expected idempotent case.
+      if (!db->HasLinkType(record.name)) return Status::OK();
+      return db->DropLinkType(record.name);
+    case WalRecord::Kind::kInsertAtom:
+      return db->InsertAtomWithId(record.name, AtomId{record.id},
+                                  record.values);
+    case WalRecord::Kind::kUpdateAtom:
+      return db->UpdateAtom(record.name, AtomId{record.id}, record.values);
+    case WalRecord::Kind::kDeleteAtom:
+      return db->DeleteAtom(record.name, AtomId{record.id});
+    case WalRecord::Kind::kInsertLink:
+      return db->InsertLink(record.name, AtomId{record.id},
+                            AtomId{record.id2});
+    case WalRecord::Kind::kEraseLink:
+      return db->EraseLink(record.name, AtomId{record.id}, AtomId{record.id2});
+    case WalRecord::Kind::kCreateIndex:
+      return db->CreateIndex(record.name, record.attribute);
+    case WalRecord::Kind::kDropIndex:
+      return db->DropIndex(record.name, record.attribute);
+  }
+  return Status::Internal("unhandled WAL record kind");
+}
+
+// ---- WalWriter ------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& path, const WalWriterOptions& opts) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("cannot open WAL for append", path);
+  }
+  if (opts.has_truncate_to) {
+    if (::ftruncate(fd, static_cast<off_t>(opts.truncate_to)) != 0) {
+      Status s = ErrnoStatus("cannot truncate WAL", path);
+      ::close(fd);
+      return s;
+    }
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    Status s = ErrnoStatus("cannot seek WAL", path);
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(fd, opts.sync, opts.group_commit_bytes));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    // Best effort on destruction; callers needing the error must Sync()
+    // themselves first.
+    (void)Flush();
+    ::close(fd_);
+  }
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  std::string frame = FrameWalRecord(record);
+  buffer_.append(frame);
+  ++records_appended_;
+  bytes_appended_ += frame.size();
+  if (sync_) return Sync();
+  if (buffer_.size() >= group_commit_bytes_) return Flush();
+  return Status::OK();
+}
+
+Status WalWriter::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  const char* data = buffer_.data();
+  size_t left = buffer_.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("WAL write failed: ") +
+                              std::strerror(errno));
+    }
+    data += n;
+    left -= static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  ++flush_count_;
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  MAD_RETURN_IF_ERROR(Flush());
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(std::string("WAL fsync failed: ") +
+                            std::strerror(errno));
+  }
+  ++sync_count_;
+  return Status::OK();
+}
+
+}  // namespace mad

@@ -1,0 +1,151 @@
+#ifndef MAD_STORAGE_WAL_H_
+#define MAD_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/value.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace mad {
+
+/// One logical database mutation, as logged to (and replayed from) the
+/// write-ahead log. Field usage depends on `kind`; unused fields keep their
+/// defaults and are neither encoded nor decoded.
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kDefineAtomType = 1,  // name, schema
+    kDefineLinkType = 2,  // name, first, second, cardinality
+    kDropAtomType = 3,    // name
+    kDropLinkType = 4,    // name
+    kInsertAtom = 5,      // name, id, values
+    kUpdateAtom = 6,      // name, id, values
+    kDeleteAtom = 7,      // name, id
+    kInsertLink = 8,      // name, id (first), id2 (second)
+    kEraseLink = 9,       // name, id (first), id2 (second)
+    kCreateIndex = 10,    // name, attribute
+    kDropIndex = 11,      // name, attribute
+  };
+
+  Kind kind = Kind::kInsertAtom;
+  /// Atom- or link-type name (every kind).
+  std::string name;
+  /// End atom-type names of a kDefineLinkType.
+  std::string first;
+  std::string second;
+  LinkCardinality cardinality = LinkCardinality::kManyToMany;
+  /// Attribute description of a kDefineAtomType.
+  Schema schema;
+  /// Atom id, or a link's first endpoint.
+  uint64_t id = 0;
+  /// A link's second endpoint.
+  uint64_t id2 = 0;
+  /// Attribute values of a kInsertAtom / kUpdateAtom.
+  std::vector<Value> values;
+  /// Attribute name of a kCreateIndex / kDropIndex.
+  std::string attribute;
+};
+
+/// Encodes the record payload (kind byte + kind-specific fields) without
+/// framing.
+std::string EncodeWalRecordPayload(const WalRecord& record);
+
+/// Decodes one payload previously produced by EncodeWalRecordPayload.
+/// Trailing bytes, unknown kinds, or malformed fields are a ParseError.
+Result<WalRecord> DecodeWalRecordPayload(std::string_view payload);
+
+/// Wraps the payload in the on-disk frame [u32 len][u32 crc32][payload].
+std::string FrameWalRecord(const WalRecord& record);
+
+/// Result of scanning a WAL byte stream. Scanning is tolerant by design: a
+/// torn or corrupted tail (truncated frame, CRC mismatch, undecodable
+/// payload) terminates the scan cleanly after the last valid record — it is
+/// reported, never an error. This is the crash-recovery contract: fsync
+/// ordering guarantees every complete frame before the tear is intact.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Bytes covered by fully valid frames; the WAL should be truncated to
+  /// this length before further appends.
+  uint64_t valid_bytes = 0;
+  /// Bytes after valid_bytes that were discarded.
+  uint64_t discarded_bytes = 0;
+  /// True when any bytes were discarded.
+  bool torn_tail = false;
+};
+
+/// Scans an in-memory WAL image. Never fails — corruption only shortens the
+/// result (see WalReadResult).
+WalReadResult ReadWal(std::string_view bytes);
+
+/// Reads and scans a WAL file; NotFound if the file cannot be opened.
+Result<WalReadResult> ReadWalFile(const std::string& path);
+
+/// Applies one decoded record to `db`. Replaying a WAL in order against the
+/// checkpoint it extends reproduces the logged database state exactly.
+Status ApplyWalRecord(const WalRecord& record, Database* db);
+
+/// Options for WalWriter::Open.
+struct WalWriterOptions {
+  /// When true every Append is flushed and fsync'd before returning
+  /// (durability per mutation); when false frames accumulate in the
+  /// group-commit buffer and reach the OS only when it fills, on Sync(),
+  /// or on close.
+  bool sync = true;
+  /// Flush threshold of the group-commit buffer.
+  size_t group_commit_bytes = 1 << 16;
+  /// When set, the file is truncated to this length before appending —
+  /// used by recovery to cut a torn tail off an existing log.
+  bool has_truncate_to = false;
+  uint64_t truncate_to = 0;
+};
+
+/// Append-only writer of CRC-framed WAL records over a POSIX fd.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 const WalWriterOptions& opts);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Frames and buffers one record; see WalWriterOptions::sync for when it
+  /// reaches disk.
+  Status Append(const WalRecord& record);
+
+  /// Writes the group-commit buffer to the file (no fsync).
+  Status Flush();
+
+  /// Flush + fsync: everything appended so far is durable on return.
+  Status Sync();
+
+  void set_sync(bool sync) { sync_ = sync; }
+  bool sync_enabled() const { return sync_; }
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t flush_count() const { return flush_count_; }
+  uint64_t sync_count() const { return sync_count_; }
+
+ private:
+  WalWriter(int fd, bool sync, size_t group_commit_bytes)
+      : fd_(fd), sync_(sync), group_commit_bytes_(group_commit_bytes) {}
+
+  int fd_ = -1;
+  bool sync_ = true;
+  size_t group_commit_bytes_ = 1 << 16;
+  std::string buffer_;
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t flush_count_ = 0;
+  uint64_t sync_count_ = 0;
+};
+
+}  // namespace mad
+
+#endif  // MAD_STORAGE_WAL_H_

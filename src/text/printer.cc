@@ -201,5 +201,27 @@ std::string FormatDerivationStats(const DerivationStats& stats) {
          " ms";
 }
 
+std::string FormatDurabilityStats(const DurabilityStats& stats) {
+  std::string out = "durable at gen " + std::to_string(stats.generation) +
+                    " (sync " + (stats.sync ? "on" : "off") + "): " +
+                    std::to_string(stats.records_appended) + " record" +
+                    (stats.records_appended == 1 ? "" : "s") + " logged (" +
+                    std::to_string(stats.bytes_appended) + " bytes), " +
+                    std::to_string(stats.sync_count) + " sync" +
+                    (stats.sync_count == 1 ? "" : "s") + ", " +
+                    std::to_string(stats.checkpoint_count) + " checkpoint" +
+                    (stats.checkpoint_count == 1 ? "" : "s");
+  if (stats.replayed_records > 0 || stats.wal_torn_tail) {
+    out += "; recovered " + std::to_string(stats.replayed_records) +
+           " record" + (stats.replayed_records == 1 ? "" : "s");
+    if (stats.wal_torn_tail) {
+      out += ", torn tail of " + std::to_string(stats.wal_discarded_bytes) +
+             " byte" + (stats.wal_discarded_bytes == 1 ? "" : "s") +
+             " discarded";
+    }
+  }
+  return out;
+}
+
 }  // namespace text
 }  // namespace mad

@@ -8,6 +8,7 @@
 #include "molecule/recursive.h"
 #include "molecule/statistics.h"
 #include "storage/database.h"
+#include "storage/durable_database.h"
 
 namespace mad {
 namespace text {
@@ -50,6 +51,11 @@ std::string FormatConceptComparison();
 /// One line of derivation-run counters, e.g.
 /// "derived 5 molecules: 23 atoms visited, 41 links scanned, 4 threads, 0.18 ms".
 std::string FormatDerivationStats(const DerivationStats& stats);
+
+/// One line of durability counters, e.g.
+/// "durable at gen 2 (sync off): 17 records logged (482 bytes), 3 syncs,
+/// 1 checkpoint".
+std::string FormatDurabilityStats(const DurabilityStats& stats);
 
 }  // namespace text
 }  // namespace mad

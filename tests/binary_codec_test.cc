@@ -1,0 +1,201 @@
+#include "storage/binary_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "molecule/derivation.h"
+#include "storage/serializer.h"
+#include "workload/bom.h"
+#include "workload/geo.h"
+
+namespace mad {
+namespace {
+
+TEST(ByteCodecTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutFixed32(0xdeadbeef);
+  w.PutFixed64(0x0123456789abcdefull);
+  w.PutVarint(0);
+  w.PutVarint(300);
+  w.PutVarint(std::numeric_limits<uint64_t>::max());
+  w.PutZigzag(-1);
+  w.PutZigzag(std::numeric_limits<int64_t>::min());
+  w.PutString("hello");
+  w.PutString("");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetFixed32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetFixed64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.GetVarint().value(), 0u);
+  EXPECT_EQ(r.GetVarint().value(), 300u);
+  EXPECT_EQ(r.GetVarint().value(), std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(r.GetZigzag().value(), -1);
+  EXPECT_EQ(r.GetZigzag().value(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteCodecTest, ReaderIsBoundsChecked) {
+  ByteReader empty("");
+  EXPECT_FALSE(empty.GetU8().ok());
+  EXPECT_FALSE(empty.GetFixed32().ok());
+  EXPECT_FALSE(empty.GetVarint().ok());
+  EXPECT_FALSE(empty.GetString().ok());
+
+  // A string whose declared length exceeds the remaining input.
+  ByteWriter w;
+  w.PutVarint(100);
+  std::string lying = w.bytes() + "short";
+  ByteReader r(lying);
+  EXPECT_FALSE(r.GetString().ok()) << "length prefix lies about the payload";
+
+  // An unterminated varint.
+  std::string endless(11, '\x80');
+  ByteReader v(endless);
+  EXPECT_FALSE(v.GetVarint().ok());
+}
+
+TEST(BinaryCodecTest, RoundTripPreservesEverything) {
+  Database db("GEO_DB");
+  auto ids = workload::BuildFigure4GeoDatabase(db);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_TRUE(db.CreateIndex("state", "name").ok());
+
+  auto bytes = SerializeDatabaseBinary(db);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto restored = DeserializeDatabaseBinary(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  EXPECT_EQ((*restored)->name(), "GEO_DB");
+  EXPECT_EQ((*restored)->atom_type_count(), db.atom_type_count());
+  EXPECT_EQ((*restored)->link_type_count(), db.link_type_count());
+  EXPECT_EQ((*restored)->total_atom_count(), db.total_atom_count());
+  EXPECT_EQ((*restored)->total_link_count(), db.total_link_count());
+  EXPECT_EQ((*restored)->last_atom_id(), db.last_atom_id());
+  auto v = (*restored)->GetAttribute("state", ids->states["SP"], "hectare");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 1000);
+  EXPECT_NE((*restored)->FindIndex("state", "name"), nullptr);
+  EXPECT_TRUE((*restored)->CheckConsistency().ok());
+}
+
+TEST(BinaryCodecTest, ReserializationIsBitIdentical) {
+  Database db("BOM");
+  ASSERT_TRUE(workload::BuildCarBom(db).ok());
+  auto bytes = SerializeDatabaseBinary(db);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = DeserializeDatabaseBinary(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  auto again = SerializeDatabaseBinary(**restored);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*bytes, *again) << "deterministic serialization contract";
+}
+
+TEST(BinaryCodecTest, AtomIdCounterSurvivesDeletionOfHighestId) {
+  Database db("ids");
+  ASSERT_TRUE(db.DefineAtomType("t", Schema()).ok());
+  auto a = db.InsertAtom("t", {});
+  auto b = db.InsertAtom("t", {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Delete the atom carrying the highest-ever id.
+  ASSERT_TRUE(db.DeleteAtom("t", *b).ok());
+
+  auto bytes = SerializeDatabaseBinary(db);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = DeserializeDatabaseBinary(*bytes);
+  ASSERT_TRUE(restored.ok());
+  // A fresh insert must not resurrect the deleted id.
+  auto fresh = (*restored)->InsertAtom("t", {});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(*fresh, *b);
+  EXPECT_GT(fresh->value, b->value);
+}
+
+TEST(BinaryCodecTest, NonFiniteDoublesAreBitExact) {
+  Database db("doubles");
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("d", DataType::kDouble).ok());
+  ASSERT_TRUE(db.DefineAtomType("t", std::move(s)).ok());
+  const double cases[] = {std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(), -0.0,
+                          0.1};
+  for (double d : cases) ASSERT_TRUE(db.InsertAtom("t", {Value(d)}).ok());
+
+  auto bytes = SerializeDatabaseBinary(db);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = DeserializeDatabaseBinary(*bytes);
+  ASSERT_TRUE(restored.ok());
+  const auto& atoms = (*(*restored)->GetAtomType("t"))->occurrence().atoms();
+  ASSERT_EQ(atoms.size(), std::size(cases));
+  for (size_t i = 0; i < std::size(cases); ++i) {
+    double got = atoms[i].values[0].AsDouble();
+    if (std::isnan(cases[i])) {
+      EXPECT_TRUE(std::isnan(got));
+    } else {
+      EXPECT_EQ(got, cases[i]);
+      EXPECT_EQ(std::signbit(got), std::signbit(cases[i]));
+    }
+  }
+}
+
+TEST(BinaryCodecTest, RejectsCorruptInput) {
+  Database db("GEO_DB");
+  ASSERT_TRUE(workload::BuildFigure4GeoDatabase(db).ok());
+  auto bytes = SerializeDatabaseBinary(db);
+  ASSERT_TRUE(bytes.ok());
+
+  EXPECT_FALSE(DeserializeDatabaseBinary("").ok());
+  EXPECT_FALSE(DeserializeDatabaseBinary("MADX").ok());
+  EXPECT_FALSE(DeserializeDatabaseBinary(bytes->substr(0, 4)).ok());
+
+  // Every truncation is detected.
+  for (size_t cut = 0; cut < bytes->size(); ++cut) {
+    auto r = DeserializeDatabaseBinary(bytes->substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "truncation at " << cut << " must be detected";
+  }
+  // Trailing garbage is detected.
+  EXPECT_FALSE(DeserializeDatabaseBinary(*bytes + "x").ok());
+  // A flipped payload byte trips the section CRC.
+  std::string flipped = *bytes;
+  flipped[flipped.size() / 2] ^= 0x40;
+  auto r = DeserializeDatabaseBinary(flipped);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinaryCodecTest, CloneDatabaseDerivesIdenticalMolecules) {
+  Database db("GEO_DB");
+  ASSERT_TRUE(workload::BuildFigure4GeoDatabase(db).ok());
+  auto md = MoleculeDescription::CreateFromTypes(
+      db, {"state", "area", "edge", "point"},
+      {{"state-area", "state", "area", false},
+       {"area-edge", "area", "edge", false},
+       {"edge-point", "edge", "point", false}});
+  ASSERT_TRUE(md.ok());
+  auto original = DeriveMolecules(db, *md);
+  ASSERT_TRUE(original.ok());
+
+  auto clone = CloneDatabase(db);
+  ASSERT_TRUE(clone.ok()) << clone.status();
+  EXPECT_EQ((*clone)->last_atom_id(), db.last_atom_id());
+  auto md2 = MoleculeDescription::CreateFromTypes(
+      **clone, {"state", "area", "edge", "point"},
+      {{"state-area", "state", "area", false},
+       {"area-edge", "area", "edge", false},
+       {"edge-point", "edge", "point", false}});
+  ASSERT_TRUE(md2.ok());
+  auto rederived = DeriveMolecules(**clone, *md2);
+  ASSERT_TRUE(rederived.ok());
+  ASSERT_EQ(original->size(), rederived->size());
+  for (size_t i = 0; i < original->size(); ++i) {
+    EXPECT_EQ((*original)[i].CanonicalKey(), (*rederived)[i].CanonicalKey());
+  }
+}
+
+}  // namespace
+}  // namespace mad

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "molecule/derivation.h"
 #include "workload/bom.h"
 #include "workload/geo.h"
@@ -118,6 +122,104 @@ TEST(SerializerTest, AllValueTypesRoundTrip) {
   EXPECT_DOUBLE_EQ(atom.values[1].AsDouble(), 0.1);
   EXPECT_EQ(atom.values[2].AsString(), "x");
   EXPECT_EQ(atom.values[3].AsBool(), false);
+}
+
+TEST(SerializerTest, NonFiniteAndEdgeDoublesRoundTrip) {
+  Database db("doubles");
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("d", DataType::kDouble).ok());
+  ASSERT_TRUE(db.DefineAtomType("t", std::move(s)).ok());
+  const double cases[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      -0.0,
+      0.1,                                       // needs 17 digits
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::min(),
+  };
+  for (double d : cases) ASSERT_TRUE(db.InsertAtom("t", {Value(d)}).ok());
+
+  // Through the text format explicitly (CloneDatabase is binary now).
+  auto text = SerializeDatabase(db);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("Dnan"), std::string::npos);
+  EXPECT_NE(text->find("Dinf"), std::string::npos);
+  EXPECT_NE(text->find("D-inf"), std::string::npos);
+  auto restored = DeserializeDatabase(*text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const auto& atoms = (*(*restored)->GetAtomType("t"))->occurrence().atoms();
+  ASSERT_EQ(atoms.size(), std::size(cases));
+  for (size_t i = 0; i < std::size(cases); ++i) {
+    double got = atoms[i].values[0].AsDouble();
+    if (std::isnan(cases[i])) {
+      EXPECT_TRUE(std::isnan(got)) << "case " << i;
+    } else {
+      EXPECT_EQ(got, cases[i]) << "case " << i;
+      // -0.0 == 0.0 compares equal; pin the sign bit down too.
+      EXPECT_EQ(std::signbit(got), std::signbit(cases[i])) << "case " << i;
+    }
+  }
+}
+
+TEST(SerializerTest, RejectsMalformedValueTokens) {
+  auto with_value = [](const std::string& token) {
+    return "MADDB 1\nDATABASE x\nATOMTYPE t 1\nATTR a DOUBLE\nATOM 1 " +
+           token + "\nEND\n";
+  };
+  auto int_value = [](const std::string& token) {
+    return "MADDB 1\nDATABASE x\nATOMTYPE t 1\nATTR a INT64\nATOM 1 " +
+           token + "\nEND\n";
+  };
+  // Well-formed forms parse.
+  EXPECT_TRUE(DeserializeDatabase(with_value("Dnan")).ok());
+  EXPECT_TRUE(DeserializeDatabase(with_value("Dinf")).ok());
+  EXPECT_TRUE(DeserializeDatabase(with_value("D-inf")).ok());
+  EXPECT_TRUE(DeserializeDatabase(with_value("D-0")).ok());
+  EXPECT_TRUE(DeserializeDatabase(int_value("I-42")).ok());
+  // Malformed ones are a ParseError, not silently truncated.
+  for (const char* bad :
+       {"D", "D12abc", "Dinfinity", "D-infinity", "DNaN(tag)", "D1e999",
+        "Dnanx", "D--1"}) {
+    auto r = DeserializeDatabase(with_value(bad));
+    ASSERT_FALSE(r.ok()) << "token '" << bad << "' must be rejected";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << bad;
+  }
+  for (const char* bad : {"I", "I12abc", "I1.5", "I99999999999999999999"}) {
+    auto r = DeserializeDatabase(int_value(bad));
+    ASSERT_FALSE(r.ok()) << "token '" << bad << "' must be rejected";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << bad;
+  }
+  // Null with a payload is malformed too.
+  auto null_trailing = DeserializeDatabase(
+      "MADDB 1\nDATABASE x\nATOMTYPE t 1\nATTR a INT64\nATOM 1 Nx\nEND\n");
+  EXPECT_FALSE(null_trailing.ok());
+}
+
+TEST(SerializerTest, SeventeenDigitPrecisionSurvivesTextRoundTrip) {
+  Database db("precise");
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("d", DataType::kDouble).ok());
+  ASSERT_TRUE(db.DefineAtomType("t", std::move(s)).ok());
+  // A value whose nearest-17-digit decimal differs from its 16-digit one.
+  const double tricky = 0.1 + 0.2;  // 0.30000000000000004
+  ASSERT_TRUE(db.InsertAtom("t", {Value(tricky)}).ok());
+  ASSERT_TRUE(db.InsertAtom("t", {Value(1.0 / 3.0)}).ok());
+
+  auto text = SerializeDatabase(db);
+  ASSERT_TRUE(text.ok());
+  auto restored = DeserializeDatabase(*text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const auto& atoms = (*(*restored)->GetAtomType("t"))->occurrence().atoms();
+  uint64_t bits_want = 0;
+  uint64_t bits_got = 0;
+  double want = tricky;
+  double got = atoms[0].values[0].AsDouble();
+  std::memcpy(&bits_want, &want, sizeof(want));
+  std::memcpy(&bits_got, &got, sizeof(got));
+  EXPECT_EQ(bits_got, bits_want) << "bit-exact round trip required";
+  EXPECT_EQ(atoms[1].values[0].AsDouble(), 1.0 / 3.0);
 }
 
 TEST(SerializerTest, EmptySchemaAtomTypeRoundTrips) {

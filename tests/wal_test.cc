@@ -1,0 +1,318 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/recovery.h"
+
+namespace mad {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<WalRecord> SampleRecords() {
+  std::vector<WalRecord> records;
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kDefineAtomType;
+    r.name = "part";
+    EXPECT_TRUE(r.schema.AddAttribute("name", DataType::kString).ok());
+    EXPECT_TRUE(r.schema.AddAttribute("weight", DataType::kDouble).ok());
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kDefineLinkType;
+    r.name = "composition";
+    r.first = "part";
+    r.second = "part";
+    r.cardinality = LinkCardinality::kOneToMany;
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kInsertAtom;
+    r.name = "part";
+    r.id = 7;
+    r.values = {Value("bolt"), Value(0.25)};
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kUpdateAtom;
+    r.name = "part";
+    r.id = 7;
+    r.values = {Value("bolt M6"), Value()};
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kInsertLink;
+    r.name = "composition";
+    r.id = 7;
+    r.id2 = 9;
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kEraseLink;
+    r.name = "composition";
+    r.id = 7;
+    r.id2 = 9;
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kDeleteAtom;
+    r.name = "part";
+    r.id = 7;
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kCreateIndex;
+    r.name = "part";
+    r.attribute = "name";
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kDropIndex;
+    r.name = "part";
+    r.attribute = "name";
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kDropLinkType;
+    r.name = "composition";
+    records.push_back(std::move(r));
+  }
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kDropAtomType;
+    r.name = "part";
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+void ExpectRecordsEqual(const WalRecord& want, const WalRecord& got) {
+  EXPECT_EQ(want.kind, got.kind);
+  EXPECT_EQ(want.name, got.name);
+  EXPECT_EQ(want.first, got.first);
+  EXPECT_EQ(want.second, got.second);
+  EXPECT_EQ(want.cardinality, got.cardinality);
+  EXPECT_EQ(want.id, got.id);
+  EXPECT_EQ(want.id2, got.id2);
+  ASSERT_EQ(want.values.size(), got.values.size());
+  for (size_t i = 0; i < want.values.size(); ++i) {
+    EXPECT_EQ(want.values[i], got.values[i]);
+  }
+  EXPECT_EQ(want.attribute, got.attribute);
+  ASSERT_EQ(want.schema.attribute_count(), got.schema.attribute_count());
+  for (size_t i = 0; i < want.schema.attribute_count(); ++i) {
+    EXPECT_EQ(want.schema.attribute(i).name, got.schema.attribute(i).name);
+    EXPECT_EQ(want.schema.attribute(i).type, got.schema.attribute(i).type);
+  }
+}
+
+TEST(WalRecordTest, EveryKindRoundTrips) {
+  for (const WalRecord& record : SampleRecords()) {
+    std::string payload = EncodeWalRecordPayload(record);
+    auto decoded = DecodeWalRecordPayload(payload);
+    ASSERT_TRUE(decoded.ok())
+        << "kind " << static_cast<int>(record.kind) << ": "
+        << decoded.status();
+    ExpectRecordsEqual(record, *decoded);
+  }
+}
+
+TEST(WalRecordTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeWalRecordPayload("").ok());
+  EXPECT_FALSE(DecodeWalRecordPayload(std::string(1, '\x00')).ok());
+  EXPECT_FALSE(DecodeWalRecordPayload(std::string(1, '\x63')).ok());
+  // A valid payload with trailing bytes is rejected.
+  std::string payload = EncodeWalRecordPayload(SampleRecords()[0]);
+  EXPECT_FALSE(DecodeWalRecordPayload(payload + "x").ok());
+  // Truncations never decode.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeWalRecordPayload(payload.substr(0, cut)).ok());
+  }
+}
+
+TEST(WalScanTest, TruncationAtEveryOffsetYieldsValidPrefix) {
+  std::string wal;
+  std::vector<size_t> boundaries;  // cumulative frame ends
+  for (const WalRecord& record : SampleRecords()) {
+    wal += FrameWalRecord(record);
+    boundaries.push_back(wal.size());
+  }
+
+  for (size_t cut = 0; cut <= wal.size(); ++cut) {
+    WalReadResult result = ReadWal(std::string_view(wal).substr(0, cut));
+    // The scan recovers exactly the records whose frames end at or before
+    // the cut.
+    size_t expect_records = 0;
+    while (expect_records < boundaries.size() &&
+           boundaries[expect_records] <= cut) {
+      ++expect_records;
+    }
+    EXPECT_EQ(result.records.size(), expect_records) << "cut at " << cut;
+    size_t expect_valid =
+        expect_records == 0 ? 0 : boundaries[expect_records - 1];
+    EXPECT_EQ(result.valid_bytes, expect_valid) << "cut at " << cut;
+    EXPECT_EQ(result.torn_tail, cut != expect_valid) << "cut at " << cut;
+    EXPECT_EQ(result.discarded_bytes, cut - expect_valid) << "cut at " << cut;
+  }
+}
+
+TEST(WalScanTest, BitFlipStopsScanAtCorruptFrame) {
+  std::vector<WalRecord> records = SampleRecords();
+  std::string wal;
+  size_t first_frame_end = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    wal += FrameWalRecord(records[i]);
+    if (i == 0) first_frame_end = wal.size();
+  }
+  // Flip one bit inside the second frame's payload.
+  std::string corrupt = wal;
+  corrupt[first_frame_end + 9] ^= 0x01;
+  WalReadResult result = ReadWal(corrupt);
+  EXPECT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.valid_bytes, first_frame_end);
+  EXPECT_TRUE(result.torn_tail);
+}
+
+TEST(WalWriterTest, AppendReadBackAndGroupCommit) {
+  std::string dir = ::testing::TempDir() + "wal_writer_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string path = dir + "/wal-0.log";
+
+  std::vector<WalRecord> records = SampleRecords();
+  {
+    WalWriterOptions options;
+    options.sync = false;
+    options.group_commit_bytes = 1 << 20;  // nothing auto-flushes
+    auto writer = WalWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    for (const WalRecord& record : records) {
+      ASSERT_TRUE((*writer)->Append(record).ok());
+    }
+    EXPECT_EQ((*writer)->records_appended(), records.size());
+    // Everything still sits in the group-commit buffer.
+    EXPECT_EQ((*writer)->flush_count(), 0u);
+    EXPECT_EQ(fs::file_size(path), 0u);
+    ASSERT_TRUE((*writer)->Sync().ok());
+    EXPECT_EQ((*writer)->sync_count(), 1u);
+    EXPECT_EQ(fs::file_size(path), (*writer)->bytes_appended());
+  }
+
+  auto readback = ReadWalFile(path);
+  ASSERT_TRUE(readback.ok()) << readback.status();
+  EXPECT_FALSE(readback->torn_tail);
+  ASSERT_EQ(readback->records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(records[i], readback->records[i]);
+  }
+
+  // Sync mode reaches the file on every append.
+  {
+    WalWriterOptions options;
+    options.sync = true;
+    auto writer = WalWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok());
+    size_t before = fs::file_size(path);
+    ASSERT_TRUE((*writer)->Append(records[0]).ok());
+    EXPECT_GT(fs::file_size(path), before);
+    EXPECT_GE((*writer)->sync_count(), 1u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(WalWriterTest, TruncateToCutsTornTail) {
+  std::string dir = ::testing::TempDir() + "wal_truncate_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string path = dir + "/wal-0.log";
+
+  std::vector<WalRecord> records = SampleRecords();
+  std::string frame = FrameWalRecord(records[0]);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << frame;
+    out.write(frame.data(), frame.size() / 2);  // torn second frame
+  }
+  auto scan = ReadWalFile(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_EQ(scan->valid_bytes, frame.size());
+
+  WalWriterOptions options;
+  options.sync = true;
+  options.has_truncate_to = true;
+  options.truncate_to = scan->valid_bytes;
+  {
+    auto writer = WalWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(records[1]).ok());
+  }
+  auto rescan = ReadWalFile(path);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_FALSE(rescan->torn_tail);
+  ASSERT_EQ(rescan->records.size(), 2u);
+  ExpectRecordsEqual(records[0], rescan->records[0]);
+  ExpectRecordsEqual(records[1], rescan->records[1]);
+  fs::remove_all(dir);
+}
+
+TEST(WalReplayTest, ReplayReproducesDirectMutations) {
+  Database db("wal_replay");
+  std::string wal;
+
+  // Capture the WAL an attached listener would write, by hand.
+  auto log = [&wal](WalRecord record) { wal += FrameWalRecord(record); };
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kDefineAtomType;
+    r.name = "t";
+    ASSERT_TRUE(r.schema.AddAttribute("x", DataType::kInt64).ok());
+    log(r);
+    ASSERT_TRUE(db.DefineAtomType("t", r.schema).ok());
+  }
+  auto id = db.InsertAtom("t", {Value(int64_t{41})});
+  ASSERT_TRUE(id.ok());
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kInsertAtom;
+    r.name = "t";
+    r.id = id->value;
+    r.values = {Value(int64_t{41})};
+    log(r);
+  }
+  ASSERT_TRUE(db.UpdateAtom("t", *id, {Value(int64_t{42})}).ok());
+  {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kUpdateAtom;
+    r.name = "t";
+    r.id = id->value;
+    r.values = {Value(int64_t{42})};
+    log(r);
+  }
+
+  WalReadResult scanned = ReadWal(wal);
+  ASSERT_EQ(scanned.records.size(), 3u);
+  Database replayed("wal_replay");
+  for (const WalRecord& record : scanned.records) {
+    ASSERT_TRUE(ApplyWalRecord(record, &replayed).ok());
+  }
+  auto v = replayed.GetAttribute("t", *id, "x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 42);
+}
+
+}  // namespace
+}  // namespace mad
