@@ -53,6 +53,11 @@ void PrintResult(const mad::Database& db, const mad::mql::QueryResult& result) {
   if (result.durability.has_value()) {
     std::cout << mad::text::FormatDurabilityStats(*result.durability) << "\n";
   }
+  // EXPLAIN ANALYZE embeds the profile in its message; only SET TRACE ON
+  // results carry a trace that still needs printing here.
+  if (result.trace != nullptr && result.kind != Kind::kCommand) {
+    std::cout << mad::text::FormatQueryTrace(*result.trace);
+  }
 }
 
 bool HandleMetaCommand(const std::string& line,

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "expr/eval.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace mad {
 namespace algebra {
@@ -149,13 +151,24 @@ bool MatchEqualityPattern(const expr::Expr& predicate,
   return true;
 }
 
+/// Occurrence size of `aname` for span cardinalities; -1 if unknown.
+int64_t OccurrenceSize(const Database& db, const std::string& aname) {
+  auto at = db.GetAtomType(aname);
+  return at.ok() ? static_cast<int64_t>((*at)->occurrence().size()) : -1;
+}
+
 }  // namespace
 
 Result<OpResult> Project(Database& db, const std::string& source,
                          const std::vector<std::string>& attributes,
                          const std::string& result_name,
                          const AlgebraOptions& options) {
+  static Counter& ops = Registry::Global().GetCounter("atom_ops.pi");
+  ops.Increment();
+  ScopedSpan span("atom.pi", source);
   MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(source));
+  span.set_rows_in(static_cast<int64_t>(at->occurrence().size()));
+  span.set_rows_out(static_cast<int64_t>(at->occurrence().size()));
   MAD_ASSIGN_OR_RETURN(Schema projected, at->description().Project(attributes));
 
   std::vector<size_t> indexes;
@@ -189,7 +202,11 @@ Result<OpResult> Restrict(Database& db, const std::string& source,
   if (predicate == nullptr) {
     return Status::InvalidArgument("restriction predicate must be non-null");
   }
+  static Counter& ops = Registry::Global().GetCounter("atom_ops.sigma");
+  ops.Increment();
+  ScopedSpan span("atom.sigma", predicate->ToString());
   MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(source));
+  span.set_rows_in(static_cast<int64_t>(at->occurrence().size()));
   MAD_RETURN_IF_ERROR(
       expr::ValidateAgainstSchema(*predicate, source, at->description()));
 
@@ -220,6 +237,7 @@ Result<OpResult> Restrict(Database& db, const std::string& source,
     }
   }
 
+  span.set_rows_out(OccurrenceSize(db, name));
   OpResult result{name, {}};
   if (options.inherit_links) {
     MAD_ASSIGN_OR_RETURN(result.inherited_link_types,
@@ -233,7 +251,12 @@ Result<OpResult> Rename(Database& db, const std::string& source,
                             renames,
                         const std::string& result_name,
                         const AlgebraOptions& options) {
+  static Counter& ops = Registry::Global().GetCounter("atom_ops.rho");
+  ops.Increment();
+  ScopedSpan span("atom.rho", source);
   MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(source));
+  span.set_rows_in(static_cast<int64_t>(at->occurrence().size()));
+  span.set_rows_out(static_cast<int64_t>(at->occurrence().size()));
   Schema renamed = at->description();
   for (const auto& [from, to] : renames) {
     MAD_RETURN_IF_ERROR(renamed.RenameAttribute(from, to));
@@ -258,8 +281,13 @@ Result<OpResult> CartesianProduct(Database& db, const std::string& left,
                                   const std::string& right,
                                   const std::string& result_name,
                                   const AlgebraOptions& options) {
+  static Counter& ops = Registry::Global().GetCounter("atom_ops.x");
+  ops.Increment();
+  ScopedSpan span("atom.x", left + " x " + right);
   MAD_ASSIGN_OR_RETURN(const AtomType* lt, db.GetAtomType(left));
   MAD_ASSIGN_OR_RETURN(const AtomType* rt, db.GetAtomType(right));
+  span.set_rows_in(
+      static_cast<int64_t>(lt->occurrence().size() + rt->occurrence().size()));
   if (left == right) {
     return Status::InvalidArgument(
         "cartesian product operands must be distinct atom types (project or "
@@ -285,6 +313,7 @@ Result<OpResult> CartesianProduct(Database& db, const std::string& left,
     }
   }
 
+  span.set_rows_out(static_cast<int64_t>(provenance.size()));
   OpResult result{name, {}};
   if (!options.inherit_links) return result;
   MAD_ASSIGN_OR_RETURN(result.inherited_link_types,
@@ -300,8 +329,13 @@ Result<OpResult> Join(Database& db, const std::string& left,
   if (predicate == nullptr) {
     return Status::InvalidArgument("join predicate must be non-null");
   }
+  static Counter& ops = Registry::Global().GetCounter("atom_ops.join");
+  ops.Increment();
+  ScopedSpan span("atom.join", predicate->ToString());
   MAD_ASSIGN_OR_RETURN(const AtomType* lt, db.GetAtomType(left));
   MAD_ASSIGN_OR_RETURN(const AtomType* rt, db.GetAtomType(right));
+  span.set_rows_in(
+      static_cast<int64_t>(lt->occurrence().size() + rt->occurrence().size()));
   if (left == right) {
     return Status::InvalidArgument(
         "join operands must be distinct atom types (rename first)");
@@ -347,6 +381,7 @@ Result<OpResult> Join(Database& db, const std::string& left,
     }
   }
 
+  span.set_rows_out(static_cast<int64_t>(provenance.size()));
   OpResult result{name, {}};
   if (options.inherit_links) {
     MAD_ASSIGN_OR_RETURN(
@@ -374,9 +409,14 @@ Result<OpResult> Union(Database& db, const std::string& left,
                        const std::string& right,
                        const std::string& result_name,
                        const AlgebraOptions& options) {
+  static Counter& ops = Registry::Global().GetCounter("atom_ops.omega");
+  ops.Increment();
+  ScopedSpan span("atom.omega", left + " + " + right);
   MAD_ASSIGN_OR_RETURN(const AtomType* lt, db.GetAtomType(left));
   MAD_ASSIGN_OR_RETURN(const AtomType* rt, db.GetAtomType(right));
   MAD_RETURN_IF_ERROR(CheckUnionCompatible(*lt, *rt));
+  span.set_rows_in(
+      static_cast<int64_t>(lt->occurrence().size() + rt->occurrence().size()));
 
   std::string name =
       PickAtomTypeName(db, result_name, "union(" + left + "," + right + ")");
@@ -389,6 +429,7 @@ Result<OpResult> Union(Database& db, const std::string& left,
     MAD_RETURN_IF_ERROR(db.InsertAtomWithId(name, atom.id, atom.values));
   }
 
+  span.set_rows_out(OccurrenceSize(db, name));
   OpResult result{name, {}};
   if (options.inherit_links) {
     std::vector<std::string> sources = {left};
@@ -403,9 +444,13 @@ Result<OpResult> Difference(Database& db, const std::string& left,
                             const std::string& right,
                             const std::string& result_name,
                             const AlgebraOptions& options) {
+  static Counter& ops = Registry::Global().GetCounter("atom_ops.delta");
+  ops.Increment();
+  ScopedSpan span("atom.delta", left + " - " + right);
   MAD_ASSIGN_OR_RETURN(const AtomType* lt, db.GetAtomType(left));
   MAD_ASSIGN_OR_RETURN(const AtomType* rt, db.GetAtomType(right));
   MAD_RETURN_IF_ERROR(CheckUnionCompatible(*lt, *rt));
+  span.set_rows_in(static_cast<int64_t>(lt->occurrence().size()));
 
   std::string name =
       PickAtomTypeName(db, result_name, "diff(" + left + "," + right + ")");
@@ -415,6 +460,7 @@ Result<OpResult> Difference(Database& db, const std::string& left,
     MAD_RETURN_IF_ERROR(db.InsertAtomWithId(name, atom.id, atom.values));
   }
 
+  span.set_rows_out(OccurrenceSize(db, name));
   OpResult result{name, {}};
   if (options.inherit_links) {
     // All result atoms stem from the left operand; only its links apply.
@@ -428,6 +474,9 @@ Result<OpResult> Intersection(Database& db, const std::string& left,
                               const std::string& right,
                               const std::string& result_name,
                               const AlgebraOptions& options) {
+  static Counter& ops = Registry::Global().GetCounter("atom_ops.psi");
+  ops.Increment();
+  ScopedSpan span("atom.psi", left + " & " + right);
   // Ψ(at1, at2) = δ(at1, δ(at1, at2)) — the paper's derived-operator recipe
   // applied at the atom-type level. The intermediate result is dropped.
   AlgebraOptions quiet = options;

@@ -6,7 +6,9 @@
 #include <unordered_map>
 
 #include "util/digraph.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace mad {
 
@@ -204,6 +206,13 @@ Result<std::vector<Molecule>> DerivationEngine::FanOut(
   parallelism = static_cast<unsigned>(std::min<size_t>(
       parallelism, std::max<size_t>(1, roots.size())));
 
+  // One span covers the whole fan-out; the per-root hot loop on the worker
+  // threads stays span-free (it aggregates into DerivationStats instead).
+  ScopedSpan span("derive",
+                  std::to_string(parallelism) + " thread" +
+                      (parallelism == 1 ? "" : "s"));
+  span.set_rows_in(static_cast<int64_t>(roots.size()));
+
   const auto start = std::chrono::steady_clock::now();
 
   std::vector<Workspace> workspaces;
@@ -232,18 +241,40 @@ Result<std::vector<Molecule>> DerivationEngine::FanOut(
     molecules.push_back(std::move(*slot));
   }
 
+  size_t atoms_visited = 0;
+  size_t links_scanned = 0;
+  for (const Workspace& ws : workspaces) {
+    atoms_visited += ws.atoms_visited;
+    links_scanned += ws.links_scanned;
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
   if (stats != nullptr) {
     *stats = DerivationStats{};
     stats->roots = roots.size();
     stats->threads_used = parallelism;
-    for (const Workspace& ws : workspaces) {
-      stats->atoms_visited += ws.atoms_visited;
-      stats->links_scanned += ws.links_scanned;
-    }
-    stats->wall_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+    stats->atoms_visited = atoms_visited;
+    stats->links_scanned = links_scanned;
+    stats->wall_ms = wall_ms;
   }
+
+  // Fold the run into the process-wide registry (static refs: the name
+  // lookup happens once, the updates are relaxed atomics).
+  static Counter& roots_counter =
+      Registry::Global().GetCounter("derivation.roots");
+  static Counter& atoms_counter =
+      Registry::Global().GetCounter("derivation.atoms_visited");
+  static Counter& links_counter =
+      Registry::Global().GetCounter("derivation.links_scanned");
+  static Histogram& wall_hist =
+      Registry::Global().GetHistogram("derivation.fanout_us");
+  roots_counter.Add(roots.size());
+  atoms_counter.Add(atoms_visited);
+  links_counter.Add(links_scanned);
+  wall_hist.Observe(static_cast<uint64_t>(wall_ms * 1000.0));
+
+  span.set_rows_out(static_cast<int64_t>(molecules.size()));
   return molecules;
 }
 

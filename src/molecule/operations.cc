@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "molecule/qualification.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace mad {
 
@@ -32,6 +34,11 @@ Result<MoleculeType> RestrictMolecules(const Database& db,
                                        const expr::ExprPtr& predicate,
                                        std::string result_name) {
   MAD_RETURN_IF_ERROR(CheckName(result_name));
+  static Counter& ops = Registry::Global().GetCounter("molecule_ops.sigma");
+  ops.Increment();
+  ScopedSpan span("sigma",
+                  predicate == nullptr ? "<null>" : predicate->ToString());
+  span.set_rows_in(static_cast<int64_t>(mt.size()));
   MAD_ASSIGN_OR_RETURN(MoleculeQualifier qualifier,
                        MoleculeQualifier::Create(db, mt.description(),
                                                  predicate));
@@ -40,6 +47,7 @@ Result<MoleculeType> RestrictMolecules(const Database& db,
     MAD_ASSIGN_OR_RETURN(bool hit, qualifier.Matches(m));
     if (hit) kept.push_back(m);
   }
+  span.set_rows_out(static_cast<int64_t>(kept.size()));
   return MoleculeType(std::move(result_name), mt.description(),
                       std::move(kept));
 }
@@ -49,6 +57,11 @@ Result<MoleculeType> ProjectMolecules(const Database& db,
                                       const MoleculeProjectionSpec& spec,
                                       std::string result_name) {
   MAD_RETURN_IF_ERROR(CheckName(result_name));
+  static Counter& ops = Registry::Global().GetCounter("molecule_ops.pi");
+  ops.Increment();
+  ScopedSpan span("pi");
+  span.set_rows_in(static_cast<int64_t>(mt.size()));
+  span.set_rows_out(static_cast<int64_t>(mt.size()));
   const MoleculeDescription& md = mt.description();
 
   std::unordered_set<std::string> keep(spec.keep_labels.begin(),
@@ -148,6 +161,10 @@ Result<MoleculeType> UnionMolecules(const MoleculeType& left,
                                     std::string result_name) {
   MAD_RETURN_IF_ERROR(CheckName(result_name));
   MAD_RETURN_IF_ERROR(CheckCompatible(left, right));
+  static Counter& ops = Registry::Global().GetCounter("molecule_ops.omega");
+  ops.Increment();
+  ScopedSpan span("omega");
+  span.set_rows_in(static_cast<int64_t>(left.size() + right.size()));
 
   std::vector<Molecule> merged = left.molecules();
   std::unordered_set<std::string> seen;
@@ -156,6 +173,7 @@ Result<MoleculeType> UnionMolecules(const MoleculeType& left,
   for (const Molecule& m : right.molecules()) {
     if (seen.insert(m.CanonicalKey()).second) merged.push_back(m);
   }
+  span.set_rows_out(static_cast<int64_t>(merged.size()));
   return MoleculeType(std::move(result_name), left.description(),
                       std::move(merged));
 }
@@ -165,6 +183,10 @@ Result<MoleculeType> DifferenceMolecules(const MoleculeType& left,
                                          std::string result_name) {
   MAD_RETURN_IF_ERROR(CheckName(result_name));
   MAD_RETURN_IF_ERROR(CheckCompatible(left, right));
+  static Counter& ops = Registry::Global().GetCounter("molecule_ops.delta");
+  ops.Increment();
+  ScopedSpan span("delta");
+  span.set_rows_in(static_cast<int64_t>(left.size()));
 
   std::unordered_set<std::string> drop;
   drop.reserve(right.molecules().size());
@@ -174,6 +196,7 @@ Result<MoleculeType> DifferenceMolecules(const MoleculeType& left,
   for (const Molecule& m : left.molecules()) {
     if (drop.count(m.CanonicalKey()) == 0) kept.push_back(m);
   }
+  span.set_rows_out(static_cast<int64_t>(kept.size()));
   return MoleculeType(std::move(result_name), left.description(),
                       std::move(kept));
 }
@@ -181,6 +204,10 @@ Result<MoleculeType> DifferenceMolecules(const MoleculeType& left,
 Result<MoleculeType> IntersectMolecules(const MoleculeType& left,
                                         const MoleculeType& right,
                                         std::string result_name) {
+  static Counter& ops = Registry::Global().GetCounter("molecule_ops.psi");
+  ops.Increment();
+  ScopedSpan span("psi");
+  span.set_rows_in(static_cast<int64_t>(left.size()));
   // Ψ(mt1, mt2) = Δ(mt1, Δ(mt1, mt2)) — the paper's derived operator.
   MAD_ASSIGN_OR_RETURN(
       MoleculeType inner,
@@ -193,6 +220,11 @@ Result<MoleculeType> CartesianProductMolecules(Database& db,
                                                const MoleculeType& right,
                                                std::string result_name) {
   MAD_RETURN_IF_ERROR(CheckName(result_name));
+  static Counter& ops = Registry::Global().GetCounter("molecule_ops.product");
+  ops.Increment();
+  ScopedSpan span("x");
+  span.set_rows_in(static_cast<int64_t>(left.size() + right.size()));
+  span.set_rows_out(static_cast<int64_t>(left.size() * right.size()));
 
   // Synthetic pair root: md_graph demands exactly one root (Def. 5), so the
   // product introduces a fresh atom type whose atoms couple operand roots.

@@ -1,6 +1,8 @@
 #include "molecule/recursive.h"
 
 #include "molecule/derivation.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace mad {
 
@@ -31,24 +33,35 @@ Result<RecursiveMolecule> DeriveRecursiveMoleculeFor(
   RecursiveMolecule molecule(root);
   std::vector<AtomId> frontier = {root};
   int depth = 0;
+  size_t links_traversed = 0;
   while (!frontier.empty() &&
          (rd.max_depth < 0 || depth < rd.max_depth)) {
+    ScopedSpan round_span("closure-round", "depth " + std::to_string(depth));
+    round_span.set_rows_in(static_cast<int64_t>(frontier.size()));
     std::vector<AtomId> next;
     for (AtomId atom : frontier) {
       for (AtomId partner : store.Partners(atom, rd.direction)) {
         // Record every traversed link; expand each atom once (cycle/DAG
         // sharing safety).
+        ++links_traversed;
         molecule.AddLink(rd.direction == LinkDirection::kForward
                              ? Link{atom, partner}
                              : Link{partner, atom});
         if (molecule.AddMember(partner)) next.push_back(partner);
       }
     }
+    round_span.set_rows_out(static_cast<int64_t>(next.size()));
     if (next.empty()) break;
     molecule.AddLevel(next);
     frontier = std::move(next);
     ++depth;
   }
+  static Counter& links_counter =
+      Registry::Global().GetCounter("closure.links_traversed");
+  static Counter& rounds_counter =
+      Registry::Global().GetCounter("closure.rounds");
+  links_counter.Add(links_traversed);
+  rounds_counter.Add(static_cast<uint64_t>(depth) + 1);
   return molecule;
 }
 
@@ -56,6 +69,9 @@ Result<std::vector<RecursiveMolecule>> DeriveRecursiveMolecules(
     const Database& db, const RecursiveDescription& rd) {
   MAD_RETURN_IF_ERROR(ValidateRecursiveDescription(db, rd));
   MAD_ASSIGN_OR_RETURN(const AtomType* at, db.GetAtomType(rd.atom_type));
+  ScopedSpan span("closure", rd.atom_type + " via " + rd.link_type);
+  span.set_rows_in(static_cast<int64_t>(at->occurrence().size()));
+  span.set_rows_out(static_cast<int64_t>(at->occurrence().size()));
   std::vector<RecursiveMolecule> molecules;
   molecules.reserve(at->occurrence().size());
   for (const Atom& atom : at->occurrence().atoms()) {

@@ -105,10 +105,18 @@ struct UpdateStatement {
 };
 
 /// EXPLAIN <select>: prints the molecule-algebra translation instead of
-/// executing it — the Ch. 4 correspondence made inspectable.
+/// executing it — the Ch. 4 correspondence made inspectable. With
+/// `analyze` (EXPLAIN ANALYZE <select>) the query IS executed under a
+/// QueryTrace and the result carries the plan plus the recorded operator
+/// span tree with wall times and cardinalities.
 struct ExplainStatement {
   SelectStatement select;
+  bool analyze = false;
 };
+
+/// SHOW METRICS: reports a snapshot of the process-wide metrics registry
+/// (util/metrics.h) — counters, gauges, and latency histograms.
+struct ShowMetricsStatement {};
 
 /// SET option [=] value: a session tuning command, e.g. `SET PARALLELISM 4`
 /// or `SET SYNC ON`. The option name is a case-insensitive identifier
@@ -134,8 +142,8 @@ using Statement =
     std::variant<SelectStatement, CreateAtomTypeStatement,
                  CreateLinkTypeStatement, InsertAtomStatement,
                  InsertLinkStatement, DeleteStatement, UpdateStatement,
-                 ExplainStatement, SetOptionStatement, OpenStatement,
-                 CheckpointStatement>;
+                 ExplainStatement, ShowMetricsStatement, SetOptionStatement,
+                 OpenStatement, CheckpointStatement>;
 
 }  // namespace mql
 }  // namespace mad

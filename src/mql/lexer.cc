@@ -65,6 +65,12 @@ const char* TokenKindName(TokenKind kind) {
       return "SET";
     case TokenKind::kExplain:
       return "EXPLAIN";
+    case TokenKind::kAnalyze:
+      return "ANALYZE";
+    case TokenKind::kShow:
+      return "SHOW";
+    case TokenKind::kMetrics:
+      return "METRICS";
     case TokenKind::kCount:
       return "COUNT";
     case TokenKind::kForAll:
@@ -128,6 +134,8 @@ constexpr Keyword kKeywords[] = {
     {"set", TokenKind::kSet},       {"explain", TokenKind::kExplain},
     {"count", TokenKind::kCount},   {"forall", TokenKind::kForAll},
     {"open", TokenKind::kOpen},     {"checkpoint", TokenKind::kCheckpoint},
+    {"analyze", TokenKind::kAnalyze}, {"show", TokenKind::kShow},
+    {"metrics", TokenKind::kMetrics},
 };
 
 }  // namespace

@@ -82,11 +82,16 @@ class Parser {
         return ParseUpdate();
       case TokenKind::kExplain: {
         Advance();
-        MAD_ASSIGN_OR_RETURN(Statement inner, ParseSelect());
         ExplainStatement stmt;
+        stmt.analyze = Accept(TokenKind::kAnalyze);
+        MAD_ASSIGN_OR_RETURN(Statement inner, ParseSelect());
         stmt.select = std::get<SelectStatement>(std::move(inner));
         return Statement(std::move(stmt));
       }
+      case TokenKind::kShow:
+        Advance();
+        MAD_RETURN_IF_ERROR(Expect(TokenKind::kMetrics));
+        return Statement(ShowMetricsStatement{});
       case TokenKind::kSet:
         // Statement-initial SET is a session option; SET also appears
         // mid-statement in UPDATE ... SET, which ParseUpdate consumes.
@@ -99,7 +104,7 @@ class Parser {
       default:
         return Error(
             "expected SELECT, CREATE, INSERT, UPDATE, DELETE, SET, OPEN, "
-            "CHECKPOINT, or EXPLAIN");
+            "CHECKPOINT, SHOW, or EXPLAIN");
     }
   }
 

@@ -9,8 +9,11 @@
 #include "mql/optimizer.h"
 #include "mql/parser.h"
 #include "mql/translator.h"
+#include "text/printer.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace mad {
 namespace mql {
@@ -126,6 +129,26 @@ Result<std::vector<QueryResult>> Session::ExecuteScript(
 }
 
 Result<QueryResult> Session::Run(Statement statement) {
+  static Counter& statements = Registry::Global().GetCounter("mql.statements");
+  static Histogram& latency =
+      Registry::Global().GetHistogram("mql.statement_us");
+  statements.Increment();
+  ScopedTimer timer(latency);
+
+  if (!options_.trace || CurrentTrace() != nullptr) {
+    // Tracing off, or already under an EXPLAIN ANALYZE / outer trace.
+    return RunStatement(std::move(statement));
+  }
+  auto trace = std::make_shared<QueryTrace>();
+  Result<QueryResult> result = [&] {
+    TraceScope scope(trace.get());
+    return RunStatement(std::move(statement));
+  }();
+  if (result.ok() && result->trace == nullptr) result->trace = trace;
+  return result;
+}
+
+Result<QueryResult> Session::RunStatement(Statement statement) {
   return std::visit(
       [this](auto&& stmt) -> Result<QueryResult> {
         using T = std::decay_t<decltype(stmt)>;
@@ -143,6 +166,8 @@ Result<QueryResult> Session::Run(Statement statement) {
           return RunUpdate(std::move(stmt));
         } else if constexpr (std::is_same_v<T, ExplainStatement>) {
           return RunExplain(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, ShowMetricsStatement>) {
+          return RunShowMetrics(std::move(stmt));
         } else if constexpr (std::is_same_v<T, SetOptionStatement>) {
           return RunSetOption(std::move(stmt));
         } else if constexpr (std::is_same_v<T, OpenStatement>) {
@@ -166,6 +191,10 @@ Status Session::RegisterMoleculeType(const std::string& name,
 }
 
 Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
+  ScopedSpan select_span("select",
+                         stmt.from.molecule_name.empty()
+                             ? std::string()
+                             : stmt.from.molecule_name);
   // Resolve the FROM clause into a molecule or recursive description.
   std::optional<MoleculeDescription> md;
   std::optional<RecursiveDescription> rd;
@@ -204,11 +233,14 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
     result.kind = QueryResult::Kind::kRecursive;
     result.recursive_description = *rd;
     if (stmt.where != nullptr) {
+      ScopedSpan filter_span("sigma", stmt.where->ToString());
+      filter_span.set_rows_in(static_cast<int64_t>(molecules.size()));
       RecursiveQualifier qualifier(*db_, *rd, stmt.where);
       for (RecursiveMolecule& m : molecules) {
         MAD_ASSIGN_OR_RETURN(bool hit, qualifier.Matches(m));
         if (hit) result.recursive.push_back(std::move(m));
       }
+      filter_span.set_rows_out(static_cast<int64_t>(result.recursive.size()));
     } else {
       result.recursive = std::move(molecules);
     }
@@ -222,13 +254,17 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
                            DerivationEngine::Create(*db_, *expansion, dopts));
       DerivationStats totals;
       for (const RecursiveMolecule& m : result.recursive) {
+        ScopedSpan expand_span(
+            "expand", "root #" + std::to_string(m.root().value));
         std::vector<AtomId> members;
         for (const auto& level : m.levels()) {
           members.insert(members.end(), level.begin(), level.end());
         }
+        expand_span.set_rows_in(static_cast<int64_t>(members.size()));
         DerivationStats stats;
         MAD_ASSIGN_OR_RETURN(std::vector<Molecule> components,
                              engine.DeriveForRoots(members, &stats));
+        expand_span.set_rows_out(static_cast<int64_t>(components.size()));
         totals.roots += stats.roots;
         totals.atoms_visited += stats.atoms_visited;
         totals.links_scanned += stats.links_scanned;
@@ -239,6 +275,7 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
       result.expansion_description = std::move(expansion);
       result.derivation = totals;
     }
+    select_span.set_rows_out(static_cast<int64_t>(result.recursive.size()));
     return result;
   }
 
@@ -260,13 +297,20 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
       MAD_ASSIGN_OR_RETURN(const AtomType* root_at,
                            db_->GetAtomType(md->root_node().type_name));
       std::vector<AtomId> qualifying;
-      for (const Atom& atom : root_at->occurrence().atoms()) {
-        // A skeleton molecule holding only the candidate root is enough to
-        // evaluate a root-only predicate.
-        Molecule skeleton(atom.id, md->nodes().size());
-        skeleton.MutableAtomsOf(root_idx).push_back(atom.id);
-        MAD_ASSIGN_OR_RETURN(bool hit, root_qualifier.Matches(skeleton));
-        if (hit) qualifying.push_back(atom.id);
+      {
+        ScopedSpan pushdown_span("root-pushdown",
+                                 split.root_only->ToString());
+        pushdown_span.set_rows_in(
+            static_cast<int64_t>(root_at->occurrence().size()));
+        for (const Atom& atom : root_at->occurrence().atoms()) {
+          // A skeleton molecule holding only the candidate root is enough
+          // to evaluate a root-only predicate.
+          Molecule skeleton(atom.id, md->nodes().size());
+          skeleton.MutableAtomsOf(root_idx).push_back(atom.id);
+          MAD_ASSIGN_OR_RETURN(bool hit, root_qualifier.Matches(skeleton));
+          if (hit) qualifying.push_back(atom.id);
+        }
+        pushdown_span.set_rows_out(static_cast<int64_t>(qualifying.size()));
       }
       MAD_ASSIGN_OR_RETURN(
           std::vector<Molecule> molecules,
@@ -292,6 +336,7 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
   }
   result.kind = QueryResult::Kind::kMolecules;
   result.molecules = std::make_shared<MoleculeType>(std::move(mt));
+  select_span.set_rows_out(static_cast<int64_t>(result.molecules->size()));
   return result;
 }
 
@@ -504,44 +549,108 @@ Result<QueryResult> Session::RunExplain(ExplainStatement stmt) {
     plan += "}]   -- molecule-type projection\n";
   }
 
+  if (!stmt.analyze) {
+    QueryResult result;
+    result.message = std::move(plan);
+    return result;
+  }
+
+  // EXPLAIN ANALYZE: execute the select under a fresh trace and report the
+  // plan together with the recorded operator span tree.
+  auto trace = std::make_shared<QueryTrace>();
+  Result<QueryResult> executed = [&] {
+    TraceScope scope(trace.get());
+    return RunSelect(std::move(stmt.select));
+  }();
+  MAD_RETURN_IF_ERROR(executed.status());
+
+  QueryResult result = *std::move(executed);
+  result.kind = QueryResult::Kind::kCommand;
+  result.message = std::move(plan) + "-- execution profile --\n" +
+                   text::FormatQueryTrace(*trace);
+  result.trace = std::move(trace);
+  return result;
+}
+
+Result<QueryResult> Session::RunShowMetrics(ShowMetricsStatement) {
   QueryResult result;
-  result.message = std::move(plan);
+  result.message =
+      text::FormatMetricsSnapshot(Registry::Global().Snapshot());
   return result;
 }
 
 Result<QueryResult> Session::RunSetOption(SetOptionStatement stmt) {
-  if (EqualsIgnoreCase(stmt.option, "parallelism")) {
-    if (stmt.value < 0) {
-      return Status::InvalidArgument(
-          "PARALLELISM must be >= 0 (0 selects hardware concurrency)");
+  // The option table drives both dispatch and the "available: ..." list in
+  // the unknown-option error, so the two cannot drift apart when options
+  // are added.
+  struct OptionEntry {
+    const char* name;
+    Result<QueryResult> (Session::*apply)(int64_t value);
+  };
+  static constexpr OptionEntry kOptions[] = {
+      {"PARALLELISM", &Session::SetParallelism},
+      {"SYNC", &Session::SetSync},
+      {"TRACE", &Session::SetTrace},
+  };
+  for (const OptionEntry& entry : kOptions) {
+    if (EqualsIgnoreCase(stmt.option, entry.name)) {
+      return (this->*entry.apply)(stmt.value);
     }
-    options_.parallelism = static_cast<unsigned>(stmt.value);
-    QueryResult result;
-    result.message =
-        options_.parallelism == 0
-            ? "parallelism set to auto (" +
-                  std::to_string(ThreadPool::DefaultParallelism()) +
-                  " threads)"
-            : "parallelism set to " + std::to_string(options_.parallelism) +
-                  " thread" + (options_.parallelism == 1 ? "" : "s");
-    return result;
   }
-  if (EqualsIgnoreCase(stmt.option, "sync")) {
-    if (stmt.value != 0 && stmt.value != 1) {
-      return Status::InvalidArgument("SYNC must be ON/1 or OFF/0");
-    }
-    options_.sync = stmt.value == 1;
-    if (durable_ != nullptr) durable_->set_sync(options_.sync);
-    QueryResult result;
-    result.message = options_.sync
-                         ? "sync on: every mutation is fsync'd"
-                         : "sync off: mutations batch in the group-commit "
-                           "buffer";
-    if (durable_ != nullptr) result.durability = durable_->stats();
-    return result;
+  std::string available;
+  for (const OptionEntry& entry : kOptions) {
+    if (!available.empty()) available += ", ";
+    available += entry.name;
   }
   return Status::InvalidArgument("unknown session option '" + stmt.option +
-                                 "'; available: PARALLELISM, SYNC");
+                                 "'; available: " + available);
+}
+
+Result<QueryResult> Session::SetParallelism(int64_t value) {
+  if (value < 0) {
+    return Status::InvalidArgument(
+        "PARALLELISM must be >= 0 (0 selects hardware concurrency)");
+  }
+  options_.parallelism = static_cast<unsigned>(value);
+  static Gauge& gauge = Registry::Global().GetGauge("mql.parallelism");
+  gauge.Set(value == 0 ? ThreadPool::DefaultParallelism() : value);
+  QueryResult result;
+  result.message =
+      options_.parallelism == 0
+          ? "parallelism set to auto (" +
+                std::to_string(ThreadPool::DefaultParallelism()) +
+                " threads)"
+          : "parallelism set to " + std::to_string(options_.parallelism) +
+                " thread" + (options_.parallelism == 1 ? "" : "s");
+  return result;
+}
+
+Result<QueryResult> Session::SetSync(int64_t value) {
+  if (value != 0 && value != 1) {
+    return Status::InvalidArgument("SYNC must be ON/1 or OFF/0");
+  }
+  options_.sync = value == 1;
+  if (durable_ != nullptr) durable_->set_sync(options_.sync);
+  QueryResult result;
+  result.message = options_.sync
+                       ? "sync on: every mutation is fsync'd"
+                       : "sync off: mutations batch in the group-commit "
+                         "buffer";
+  if (durable_ != nullptr) result.durability = durable_->stats();
+  return result;
+}
+
+Result<QueryResult> Session::SetTrace(int64_t value) {
+  if (value != 0 && value != 1) {
+    return Status::InvalidArgument("TRACE must be ON/1 or OFF/0");
+  }
+  options_.trace = value == 1;
+  QueryResult result;
+  result.message = options_.trace
+                       ? "trace on: every statement records an operator "
+                         "span tree"
+                       : "trace off";
+  return result;
 }
 
 Result<QueryResult> Session::RunOpen(OpenStatement stmt) {

@@ -14,6 +14,7 @@
 #include "storage/database.h"
 #include "storage/durable_database.h"
 #include "util/result.h"
+#include "util/trace.h"
 
 namespace mad {
 namespace mql {
@@ -41,6 +42,9 @@ struct QueryResult {
   std::optional<DerivationStats> derivation;
   /// Durability counters after OPEN / CHECKPOINT / SET SYNC.
   std::optional<DurabilityStats> durability;
+  /// The operator span tree recorded while executing this statement; set by
+  /// EXPLAIN ANALYZE and by any statement under `SET TRACE ON`.
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 /// Execution tuning knobs.
@@ -57,6 +61,9 @@ struct SessionOptions {
   /// Per-mutation fsync for databases attached with OPEN; adjustable at
   /// runtime with `SET SYNC ON|OFF`.
   bool sync = false;
+  /// Record a QueryTrace for every statement (`SET TRACE ON|OFF`). EXPLAIN
+  /// ANALYZE always traces, independent of this option.
+  bool trace = false;
 };
 
 /// An MQL session: parses statements, translates them to the molecule
@@ -93,6 +100,7 @@ class Session {
   DurableDatabase* durable() { return durable_.get(); }
 
  private:
+  Result<QueryResult> RunStatement(Statement statement);
   Result<QueryResult> RunSelect(SelectStatement stmt);
   Result<QueryResult> RunCreateAtomType(CreateAtomTypeStatement stmt);
   Result<QueryResult> RunCreateLinkType(CreateLinkTypeStatement stmt);
@@ -101,9 +109,16 @@ class Session {
   Result<QueryResult> RunDelete(DeleteStatement stmt);
   Result<QueryResult> RunUpdate(UpdateStatement stmt);
   Result<QueryResult> RunExplain(ExplainStatement stmt);
+  Result<QueryResult> RunShowMetrics(ShowMetricsStatement stmt);
   Result<QueryResult> RunSetOption(SetOptionStatement stmt);
   Result<QueryResult> RunOpen(OpenStatement stmt);
   Result<QueryResult> RunCheckpoint(CheckpointStatement stmt);
+
+  // SET option handlers, dispatched through kSessionOptions in session.cc;
+  // the table is also the source of the "available: ..." error list.
+  Result<QueryResult> SetParallelism(int64_t value);
+  Result<QueryResult> SetSync(int64_t value);
+  Result<QueryResult> SetTrace(int64_t value);
 
   Database* db_;
   SessionOptions options_;

@@ -38,6 +38,9 @@ enum class TokenKind {
   kUpdate,
   kSet,
   kExplain,
+  kAnalyze,
+  kShow,
+  kMetrics,
   kCount,
   kForAll,
   kOpen,

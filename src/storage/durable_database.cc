@@ -10,6 +10,8 @@
 
 #include "storage/binary_codec.h"
 #include "storage/recovery.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace mad {
 
@@ -136,6 +138,14 @@ Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
 
   durable->db_->SetMutationListener(durable.get());
   durable->recovery_ms_ = MsSince(start);
+  static Counter& opens = Registry::Global().GetCounter("storage.opens");
+  static Counter& replayed =
+      Registry::Global().GetCounter("storage.replayed_records");
+  static Histogram& recovery =
+      Registry::Global().GetHistogram("storage.recovery_us");
+  opens.Increment();
+  replayed.Add(durable->replayed_records_);
+  recovery.Observe(static_cast<uint64_t>(durable->recovery_ms_ * 1000.0));
   return durable;
 }
 
@@ -146,6 +156,13 @@ DurableDatabase::~DurableDatabase() {
 
 Status DurableDatabase::Checkpoint() {
   MAD_RETURN_IF_ERROR(append_error_);
+  ScopedSpan span("checkpoint", dir_);
+  static Counter& checkpoints =
+      Registry::Global().GetCounter("storage.checkpoints");
+  static Histogram& latency =
+      Registry::Global().GetHistogram("storage.checkpoint_us");
+  checkpoints.Increment();
+  ScopedTimer timer(latency);
   auto start = std::chrono::steady_clock::now();
 
   // Everything logged so far must be on disk before the old generation can
@@ -190,6 +207,10 @@ Status DurableDatabase::Checkpoint() {
   ++checkpoint_count_;
   last_checkpoint_bytes_ = bytes.size();
   last_checkpoint_ms_ = MsSince(start);
+  static Counter& checkpoint_bytes =
+      Registry::Global().GetCounter("storage.checkpoint_bytes");
+  checkpoint_bytes.Add(bytes.size());
+  span.set_rows_out(static_cast<int64_t>(bytes.size()));
   return Status::OK();
 }
 

@@ -10,6 +10,8 @@
 
 #include "storage/binary_codec.h"
 #include "util/crc32.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace mad {
 
@@ -299,10 +301,16 @@ WalWriter::~WalWriter() {
 }
 
 Status WalWriter::Append(const WalRecord& record) {
+  ScopedSpan span("wal.append");
   std::string frame = FrameWalRecord(record);
   buffer_.append(frame);
   ++records_appended_;
   bytes_appended_ += frame.size();
+  span.set_rows_out(static_cast<int64_t>(frame.size()));
+  static Counter& records = Registry::Global().GetCounter("wal.records");
+  static Counter& bytes = Registry::Global().GetCounter("wal.bytes");
+  records.Increment();
+  bytes.Add(frame.size());
   if (sync_) return Sync();
   if (buffer_.size() >= group_commit_bytes_) return Flush();
   return Status::OK();
@@ -310,6 +318,10 @@ Status WalWriter::Append(const WalRecord& record) {
 
 Status WalWriter::Flush() {
   if (buffer_.empty()) return Status::OK();
+  ScopedSpan span("wal.flush");
+  span.set_rows_in(static_cast<int64_t>(buffer_.size()));
+  static Counter& flushes = Registry::Global().GetCounter("wal.flushes");
+  flushes.Increment();
   const char* data = buffer_.data();
   size_t left = buffer_.size();
   while (left > 0) {
@@ -328,6 +340,11 @@ Status WalWriter::Flush() {
 }
 
 Status WalWriter::Sync() {
+  ScopedSpan span("wal.sync");
+  static Counter& syncs = Registry::Global().GetCounter("wal.syncs");
+  static Histogram& latency = Registry::Global().GetHistogram("wal.sync_us");
+  syncs.Increment();
+  ScopedTimer timer(latency);
   MAD_RETURN_IF_ERROR(Flush());
   if (::fsync(fd_) != 0) {
     return Status::Internal(std::string("WAL fsync failed: ") +

@@ -1,5 +1,6 @@
 #include "text/printer.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace mad {
@@ -221,6 +222,205 @@ std::string FormatDurabilityStats(const DurabilityStats& stats) {
     }
   }
   return out;
+}
+
+namespace {
+
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms",
+                  static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1f us",
+                  static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu ns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+std::string SpanRows(const TraceSpan& span) {
+  if (span.rows_in < 0 && span.rows_out < 0) return "";
+  if (span.rows_in < 0) return "  rows out " + std::to_string(span.rows_out);
+  if (span.rows_out < 0) return "  rows in " + std::to_string(span.rows_in);
+  return "  " + std::to_string(span.rows_in) + " -> " +
+         std::to_string(span.rows_out);
+}
+
+/// Consecutive same-named siblings beyond this many collapse into one
+/// aggregate line, keeping traces with thousands of WAL appends readable.
+constexpr size_t kMaxSiblingRun = 3;
+
+void AppendSpanLine(const TraceSpan& span, size_t depth, std::string* out) {
+  out->append(2 * depth, ' ');
+  *out += span.name;
+  if (!span.note.empty()) *out += " [" + span.note + "]";
+  *out += "  " + FormatNs(span.duration_ns) + "  [t" +
+          std::to_string(span.thread) + "]" + SpanRows(span) + "\n";
+}
+
+void AppendSpanTree(const std::vector<TraceSpan>& spans,
+                    const std::vector<std::vector<size_t>>& children,
+                    size_t index, size_t depth, std::string* out) {
+  AppendSpanLine(spans[index], depth, out);
+  const std::vector<size_t>& kids = children[index];
+  for (size_t i = 0; i < kids.size();) {
+    // Measure the run of same-named siblings starting at i.
+    size_t j = i;
+    while (j < kids.size() &&
+           spans[kids[j]].name == spans[kids[i]].name) {
+      ++j;
+    }
+    size_t run = j - i;
+    if (run <= kMaxSiblingRun) {
+      for (size_t k = i; k < j; ++k) {
+        AppendSpanTree(spans, children, kids[k], depth + 1, out);
+      }
+    } else {
+      AppendSpanTree(spans, children, kids[i], depth + 1, out);
+      uint64_t total_ns = 0;
+      for (size_t k = i + 1; k < j; ++k) {
+        total_ns += spans[kids[k]].duration_ns;
+      }
+      out->append(2 * (depth + 1), ' ');
+      *out += "... " + std::to_string(run - 1) + " more " +
+              spans[kids[i]].name + " span" + (run - 1 == 1 ? "" : "s") +
+              ", total " + FormatNs(total_ns) + "\n";
+    }
+    i = j;
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatQueryTrace(const QueryTrace& trace) {
+  const std::vector<TraceSpan>& spans = trace.spans();
+  std::string out =
+      "trace: " + std::to_string(spans.size()) + " span" +
+      (spans.size() == 1 ? "" : "s") + ", total " +
+      FormatNs(trace.total_duration_ns()) + "\n";
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == TraceSpan::kNoParent) {
+      roots.push_back(i);
+    } else {
+      children[static_cast<size_t>(spans[i].parent)].push_back(i);
+    }
+  }
+  for (size_t root : roots) {
+    AppendSpanTree(spans, children, root, 1, &out);
+  }
+  return out;
+}
+
+std::string QueryTraceToJson(const QueryTrace& trace) {
+  std::string out = "{\"total_ns\": " +
+                    std::to_string(trace.total_duration_ns()) +
+                    ", \"spans\": [";
+  bool first = true;
+  for (const TraceSpan& span : trace.spans()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"id\": " + std::to_string(span.id) +
+           ", \"parent\": " + std::to_string(span.parent) + ", \"name\": \"" +
+           JsonEscape(span.name) + "\", \"note\": \"" + JsonEscape(span.note) +
+           "\", \"start_ns\": " + std::to_string(span.start_ns) +
+           ", \"duration_ns\": " + std::to_string(span.duration_ns) +
+           ", \"rows_in\": " + std::to_string(span.rows_in) +
+           ", \"rows_out\": " + std::to_string(span.rows_out) +
+           ", \"thread\": " + std::to_string(span.thread) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FormatMetricsSnapshot(const MetricsSnapshot& snapshot) {
+  if (snapshot.samples.empty()) return "no metrics recorded\n";
+  size_t width = 0;
+  for (const MetricSample& s : snapshot.samples) {
+    width = std::max(width, s.name.size());
+  }
+  std::string out;
+  for (const MetricSample& s : snapshot.samples) {
+    out += s.name;
+    out.append(width - s.name.size() + 2, ' ');
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        out += std::to_string(s.value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        out += "count " + std::to_string(s.count) + ", mean " +
+               FormatNs(s.count == 0 ? 0 : (s.sum_us / s.count) * 1000) +
+               ", p50 <= " + FormatNs(s.p50_us * 1000) + ", p99 <= " +
+               FormatNs(s.p99_us * 1000) + ", max " +
+               FormatNs(s.max_us * 1000);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string counters, gauges, histograms;
+  for (const MetricSample& s : snapshot.samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        if (!counters.empty()) counters += ", ";
+        counters += "\"" + JsonEscape(s.name) +
+                    "\": " + std::to_string(s.value);
+        break;
+      case MetricSample::Kind::kGauge:
+        if (!gauges.empty()) gauges += ", ";
+        gauges += "\"" + JsonEscape(s.name) + "\": " + std::to_string(s.value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        if (!histograms.empty()) histograms += ", ";
+        histograms += "\"" + JsonEscape(s.name) + "\": {\"count\": " +
+                      std::to_string(s.count) + ", \"sum_us\": " +
+                      std::to_string(s.sum_us) + ", \"max_us\": " +
+                      std::to_string(s.max_us) + ", \"p50_us\": " +
+                      std::to_string(s.p50_us) + ", \"p99_us\": " +
+                      std::to_string(s.p99_us) + "}";
+        break;
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
 }
 
 }  // namespace text

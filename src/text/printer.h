@@ -9,6 +9,8 @@
 #include "molecule/statistics.h"
 #include "storage/database.h"
 #include "storage/durable_database.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace mad {
 namespace text {
@@ -56,6 +58,30 @@ std::string FormatDerivationStats(const DerivationStats& stats);
 /// "durable at gen 2 (sync off): 17 records logged (482 bytes), 3 syncs,
 /// 1 checkpoint".
 std::string FormatDurabilityStats(const DurabilityStats& stats);
+
+/// The operator span tree of one traced statement, indented by nesting:
+///
+///   select  0.81 ms  [t0]  rows out 5
+///     derive (1 thread)  0.52 ms  [t0]  10 -> 5
+///     sigma [point.name = 'pn']  0.11 ms  [t0]  5 -> 1
+///
+/// Long runs of same-named siblings (e.g. thousands of wal.append spans)
+/// are collapsed into the first occurrence plus an aggregate line.
+std::string FormatQueryTrace(const QueryTrace& trace);
+
+/// Stable machine-readable form:
+/// {"total_ns": N, "spans": [{"id", "parent", "name", "note", "start_ns",
+/// "duration_ns", "rows_in", "rows_out", "thread"}, ...]} — spans in start
+/// order, parent always before child.
+std::string QueryTraceToJson(const QueryTrace& trace);
+
+/// Human-readable metrics table: one line per instrument, sorted by name.
+std::string FormatMetricsSnapshot(const MetricsSnapshot& snapshot);
+
+/// Stable machine-readable form:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {"count",
+/// "sum_us", "max_us", "p50_us", "p99_us"}, ...}} — keys sorted by name.
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
 
 }  // namespace text
 }  // namespace mad

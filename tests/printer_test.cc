@@ -100,6 +100,118 @@ TEST_F(PrinterTest, RecursiveMoleculeFormatting) {
             std::string::npos);
 }
 
+namespace {
+
+// Minimal field extraction for the flat JSON the printer emits; enough to
+// round-trip every span back out of QueryTraceToJson.
+int64_t JsonInt(const std::string& json, size_t object_start,
+                const std::string& key) {
+  size_t pos = json.find("\"" + key + "\": ", object_start);
+  EXPECT_NE(pos, std::string::npos) << key;
+  return std::stoll(json.substr(pos + key.size() + 4));
+}
+
+std::string JsonString(const std::string& json, size_t object_start,
+                       const std::string& key) {
+  size_t pos = json.find("\"" + key + "\": \"", object_start);
+  EXPECT_NE(pos, std::string::npos) << key;
+  size_t begin = pos + key.size() + 5;
+  return json.substr(begin, json.find('"', begin) - begin);
+}
+
+// QueryTrace owns a mutex (immovable), so the caller provides it.
+void RecordSampleTrace(QueryTrace* trace) {
+  {
+    TraceScope scope(trace);
+    ScopedSpan select("select", "state-area");
+    select.set_rows_out(10);
+    {
+      ScopedSpan derive("derive", "1 thread(s)");
+      derive.set_rows_in(10);
+      derive.set_rows_out(10);
+    }
+    for (int i = 0; i < 5; ++i) {
+      ScopedSpan append("wal.append");
+      append.set_rows_out(32);
+    }
+  }
+}
+
+}  // namespace
+
+TEST_F(PrinterTest, QueryTraceFormattingCollapsesSiblingRuns) {
+  QueryTrace trace;
+  RecordSampleTrace(&trace);
+  std::string out = text::FormatQueryTrace(trace);
+  EXPECT_NE(out.find("trace: 7 spans, total "), std::string::npos) << out;
+  EXPECT_NE(out.find("select [state-area]"), std::string::npos) << out;
+  EXPECT_NE(out.find("derive [1 thread(s)]"), std::string::npos) << out;
+  EXPECT_NE(out.find("10 -> 10"), std::string::npos) << out;
+  // Five wal.append siblings exceed the run limit of three: the first is
+  // printed, the other four collapse into one aggregate line.
+  EXPECT_NE(out.find("... 4 more wal.append spans, total "),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("rows out 32", out.find("... 4 more")),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(PrinterTest, QueryTraceJsonRoundTrips) {
+  QueryTrace trace;
+  RecordSampleTrace(&trace);
+  std::string json = text::QueryTraceToJson(trace);
+  EXPECT_EQ(static_cast<uint64_t>(JsonInt(json, 0, "total_ns")),
+            trace.total_duration_ns());
+
+  // Walk the span objects in order and reconstruct each field.
+  size_t pos = json.find("\"spans\": [");
+  ASSERT_NE(pos, std::string::npos);
+  for (const TraceSpan& span : trace.spans()) {
+    pos = json.find("{\"id\":", pos);
+    ASSERT_NE(pos, std::string::npos) << "missing object for span " << span.id;
+    EXPECT_EQ(JsonInt(json, pos, "id"), span.id);
+    EXPECT_EQ(JsonInt(json, pos, "parent"), span.parent);
+    EXPECT_EQ(JsonString(json, pos, "name"), span.name);
+    EXPECT_EQ(JsonString(json, pos, "note"), span.note);
+    EXPECT_EQ(static_cast<uint64_t>(JsonInt(json, pos, "start_ns")),
+              span.start_ns);
+    EXPECT_EQ(static_cast<uint64_t>(JsonInt(json, pos, "duration_ns")),
+              span.duration_ns);
+    EXPECT_EQ(JsonInt(json, pos, "rows_in"), span.rows_in);
+    EXPECT_EQ(JsonInt(json, pos, "rows_out"), span.rows_out);
+    EXPECT_EQ(static_cast<uint32_t>(JsonInt(json, pos, "thread")),
+              span.thread);
+    ++pos;
+  }
+  EXPECT_EQ(json.find("{\"id\":", pos), std::string::npos)
+      << "more span objects than spans";
+}
+
+TEST_F(PrinterTest, MetricsSnapshotFormattingAndJson) {
+  Registry registry;
+  registry.GetCounter("c.scans").Add(5);
+  registry.GetGauge("g.parallelism").Set(-2);
+  registry.GetHistogram("h.latency").Observe(3);
+  MetricsSnapshot snapshot = registry.Snapshot();
+
+  std::string table = text::FormatMetricsSnapshot(snapshot);
+  EXPECT_NE(table.find("c.scans"), std::string::npos);
+  EXPECT_NE(table.find("5"), std::string::npos);
+  EXPECT_NE(table.find("count 1, mean "), std::string::npos) << table;
+  EXPECT_NE(table.find("p50 <= "), std::string::npos) << table;
+  EXPECT_EQ(text::FormatMetricsSnapshot(MetricsSnapshot{}),
+            "no metrics recorded\n");
+
+  // The JSON form is deterministic for a fixed snapshot — pin it exactly so
+  // downstream consumers (bench_compare-style tooling) can rely on it.
+  EXPECT_EQ(text::MetricsSnapshotToJson(snapshot),
+            "{\"counters\": {\"c.scans\": 5}, "
+            "\"gauges\": {\"g.parallelism\": -2}, "
+            "\"histograms\": {\"h.latency\": {\"count\": 1, \"sum_us\": 3, "
+            "\"max_us\": 3, \"p50_us\": 3, \"p99_us\": 3}}}");
+}
+
 TEST_F(PrinterTest, ConceptComparisonContainsAllFigure3Rows) {
   std::string table = text::FormatConceptComparison();
   for (const char* row :

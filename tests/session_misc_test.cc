@@ -166,6 +166,39 @@ TEST_F(SessionMiscTest, SetParallelismControlsDerivation) {
   EXPECT_FALSE(session_->Execute("SET FROBNICATION 3;").ok());
 }
 
+TEST_F(SessionMiscTest, UnknownOptionErrorListsEveryOption) {
+  // The "available: ..." list is generated from the option table, so every
+  // dispatchable option must appear in the error — a hardcoded list would
+  // go stale the moment an option is added.
+  auto bad = session_->Execute("SET FROBNICATION 3;");
+  ASSERT_FALSE(bad.ok());
+  const std::string message = bad.status().ToString();
+  for (const char* option : {"PARALLELISM", "SYNC", "TRACE"}) {
+    EXPECT_NE(message.find(option), std::string::npos)
+        << "option " << option << " missing from: " << message;
+  }
+  // Every listed option actually dispatches (accepts or rejects the value,
+  // but never reports "unknown session option").
+  for (const char* stmt :
+       {"SET PARALLELISM 1;", "SET SYNC OFF;", "SET TRACE OFF;"}) {
+    auto result = session_->Execute(stmt);
+    EXPECT_TRUE(result.ok()) << result.status();
+  }
+}
+
+TEST_F(SessionMiscTest, SetTraceRecordsSpansOnEveryStatement) {
+  ASSERT_TRUE(session_->Execute("SET TRACE ON;").ok());
+  auto result = session_->Execute("SELECT ALL FROM state-area;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->trace, nullptr);
+  ASSERT_FALSE(result->trace->spans().empty());
+  EXPECT_EQ(result->trace->spans()[0].name, "select");
+  ASSERT_TRUE(session_->Execute("SET TRACE OFF;").ok());
+  auto untraced = session_->Execute("SELECT ALL FROM state-area;");
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced->trace, nullptr);
+}
+
 }  // namespace
 }  // namespace mql
 }  // namespace mad

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare benchmark --json results against a checked-in baseline.
+
+The bench_* binaries emit, via their --json flag, one file each of the form
+
+    {"benchmark": "bench_perf_clone", "results": [
+      {"op": "BM_CloneDatabase/100", "ns_per_op": 123.4,
+       "iterations": 1000, "parallelism": 1}, ...]}
+
+This tool has two subcommands:
+
+  merge <out.json> <in.json...>
+      Combine per-binary result files into one baseline file (the shape is a
+      JSON array of the per-binary objects). Used to refresh
+      BENCH_baseline.json.
+
+  compare --baseline <baseline.json> [--threshold 0.25] <current.json...>
+      Diff each (benchmark, op) pair's ns_per_op against the baseline and
+      exit 1 when any op regressed by more than the threshold (default 25%).
+      Ops only present on one side are reported but never fail the run, so
+      adding or retiring a benchmark doesn't require a lockstep baseline
+      update.
+
+CI runs `compare`; a >threshold regression fails the job unless the PR
+carries the `perf-regression-ok` label (the workflow checks the label, not
+this script — the numbers are always printed either way).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Returns {(benchmark, op): ns_per_op} from a per-binary result file or
+    a merged baseline (array of per-binary objects)."""
+    with open(path) as f:
+        data = json.load(f)
+    groups = data if isinstance(data, list) else [data]
+    out = {}
+    for group in groups:
+        bench = group["benchmark"]
+        for row in group["results"]:
+            out[(bench, row["op"])] = float(row["ns_per_op"])
+    return out
+
+
+def merge(out_path, in_paths):
+    groups = []
+    for path in in_paths:
+        with open(path) as f:
+            data = json.load(f)
+        groups.extend(data if isinstance(data, list) else [data])
+    groups.sort(key=lambda g: g["benchmark"])
+    with open(out_path, "w") as f:
+        json.dump(groups, f, indent=2, sort_keys=True)
+        f.write("\n")
+    ops = sum(len(g["results"]) for g in groups)
+    print(f"wrote {len(groups)} benchmark(s), {ops} op(s) to {out_path}")
+    return 0
+
+
+def compare(baseline_path, current_paths, threshold):
+    baseline = load_results(baseline_path)
+    current = {}
+    for path in current_paths:
+        current.update(load_results(path))
+
+    regressions = []
+    rows = []
+    for key in sorted(set(baseline) | set(current)):
+        bench, op = key
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None:
+            rows.append((bench, op, base, cur, "new (not in baseline)"))
+            continue
+        if cur is None:
+            rows.append((bench, op, base, cur, "missing from current run"))
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        delta = f"{(ratio - 1) * 100:+.1f}%"
+        if ratio > 1 + threshold:
+            regressions.append(key)
+            rows.append((bench, op, base, cur, f"{delta}  REGRESSION"))
+        else:
+            rows.append((bench, op, base, cur, delta))
+
+    name_w = max(len(f"{b}/{o}") for b, o, *_ in rows) if rows else 0
+    for bench, op, base, cur, verdict in rows:
+        name = f"{bench}/{op}"
+        base_s = f"{base:12.1f}" if base is not None else " " * 12
+        cur_s = f"{cur:12.1f}" if cur is not None else " " * 12
+        print(f"{name:<{name_w}}  {base_s}  {cur_s}  {verdict}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} op(s) regressed more than "
+            f"{threshold * 100:.0f}% vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no op regressed more than {threshold * 100:.0f}%")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_merge = sub.add_parser("merge", help="combine result files into a baseline")
+    p_merge.add_argument("out")
+    p_merge.add_argument("inputs", nargs="+")
+
+    p_cmp = sub.add_parser("compare", help="diff current results vs baseline")
+    p_cmp.add_argument("--baseline", required=True)
+    p_cmp.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per op (default 0.25 = +25%%)",
+    )
+    p_cmp.add_argument("current", nargs="+")
+
+    args = parser.parse_args(argv)
+    if args.command == "merge":
+        return merge(args.out, args.inputs)
+    return compare(args.baseline, args.current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py, including the acceptance check that a
+synthetic 2x-slower result set fails the comparison."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare
+
+
+def write_json(directory, name, payload):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump(payload, f)
+    return path
+
+
+def result_file(benchmark, ops):
+    return {
+        "benchmark": benchmark,
+        "results": [
+            {"op": op, "ns_per_op": ns, "iterations": 100, "parallelism": 1}
+            for op, ns in ops.items()
+        ],
+    }
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = self.tmp.name
+        self.baseline = write_json(
+            self.dir,
+            "baseline.json",
+            [
+                result_file("bench_perf_clone", {"BM_Clone/100": 1000.0}),
+                result_file(
+                    "bench_perf_molecule_ops",
+                    {"BM_Derive/100/1": 2000.0, "BM_Derive/400/1": 9000.0},
+                ),
+            ],
+        )
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_identical_results_pass(self):
+        current = write_json(
+            self.dir,
+            "current.json",
+            result_file(
+                "bench_perf_molecule_ops",
+                {"BM_Derive/100/1": 2000.0, "BM_Derive/400/1": 9000.0},
+            ),
+        )
+        clone = write_json(
+            self.dir,
+            "clone.json",
+            result_file("bench_perf_clone", {"BM_Clone/100": 1000.0}),
+        )
+        self.assertEqual(
+            bench_compare.compare(self.baseline, [current, clone], 0.25), 0
+        )
+
+    def test_small_slowdown_within_threshold_passes(self):
+        current = write_json(
+            self.dir,
+            "current.json",
+            result_file("bench_perf_molecule_ops", {"BM_Derive/100/1": 2400.0}),
+        )
+        self.assertEqual(bench_compare.compare(self.baseline, [current], 0.25), 0)
+
+    def test_two_x_slower_fails(self):
+        # The acceptance check: a synthetic 2x-slower run must fail.
+        current = write_json(
+            self.dir,
+            "slow.json",
+            result_file(
+                "bench_perf_molecule_ops",
+                {"BM_Derive/100/1": 4000.0, "BM_Derive/400/1": 18000.0},
+            ),
+        )
+        self.assertEqual(bench_compare.compare(self.baseline, [current], 0.25), 1)
+
+    def test_threshold_override_tolerates_two_x(self):
+        current = write_json(
+            self.dir,
+            "slow.json",
+            result_file("bench_perf_molecule_ops", {"BM_Derive/100/1": 4000.0}),
+        )
+        self.assertEqual(bench_compare.compare(self.baseline, [current], 1.5), 0)
+
+    def test_new_and_missing_ops_do_not_fail(self):
+        current = write_json(
+            self.dir,
+            "current.json",
+            result_file("bench_perf_new", {"BM_Fresh/1": 50.0}),
+        )
+        self.assertEqual(bench_compare.compare(self.baseline, [current], 0.25), 0)
+
+    def test_merge_roundtrips_through_compare(self):
+        a = write_json(
+            self.dir, "a.json", result_file("bench_perf_clone", {"BM_Clone/100": 1000.0})
+        )
+        b = write_json(
+            self.dir,
+            "b.json",
+            result_file("bench_perf_molecule_ops", {"BM_Derive/100/1": 2000.0}),
+        )
+        merged = os.path.join(self.dir, "merged.json")
+        self.assertEqual(bench_compare.merge(merged, [a, b]), 0)
+        loaded = bench_compare.load_results(merged)
+        self.assertEqual(
+            loaded,
+            {
+                ("bench_perf_clone", "BM_Clone/100"): 1000.0,
+                ("bench_perf_molecule_ops", "BM_Derive/100/1"): 2000.0,
+            },
+        )
+        self.assertEqual(bench_compare.compare(merged, [a, b], 0.25), 0)
+
+    def test_cli_exit_codes(self):
+        slow = write_json(
+            self.dir,
+            "slow.json",
+            result_file("bench_perf_clone", {"BM_Clone/100": 2000.0}),
+        )
+        self.assertEqual(
+            bench_compare.main(
+                ["compare", "--baseline", self.baseline, slow]
+            ),
+            1,
+        )
+        self.assertEqual(
+            bench_compare.main(
+                ["compare", "--baseline", self.baseline, "--threshold", "1.5", slow]
+            ),
+            0,
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
