@@ -24,8 +24,14 @@
 
 namespace {
 
-void PrintResult(const mad::Database& db, const mad::mql::QueryResult& result) {
+void PrintResult(const mad::Database& db, const mad::mql::QueryResult& result,
+                 const std::string& source) {
   using Kind = mad::mql::QueryResult::Kind;
+  // Analyzer warnings (and, for CHECK, the full report) come first, with
+  // carets over the statement text.
+  if (!result.diagnostics.empty()) {
+    std::cout << mad::mql::RenderDiagnostics(result.diagnostics, source);
+  }
   switch (result.kind) {
     case Kind::kMolecules:
       std::cout << mad::text::FormatMoleculeType(db, *result.molecules, 8);
@@ -134,14 +140,15 @@ int main() {
     // Execute once the buffer holds a ';' terminator.
     if (stripped.empty() || stripped.back() != ';') continue;
 
-    auto results = session->ExecuteScript(buffer);
+    std::string script = std::move(buffer);
     buffer.clear();
+    auto results = session->ExecuteScript(script);
     if (!results.ok()) {
       std::cout << results.status() << "\n";
       continue;
     }
     for (const mad::mql::QueryResult& result : *results) {
-      PrintResult(session->database(), result);
+      PrintResult(session->database(), result, script);
     }
   }
   return 0;

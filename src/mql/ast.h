@@ -1,6 +1,7 @@
 #ifndef MAD_MQL_AST_H_
 #define MAD_MQL_AST_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -11,9 +12,16 @@
 #include "core/data_type.h"
 #include "core/value.h"
 #include "expr/expr.h"
+#include "mql/diag.h"
 
 namespace mad {
 namespace mql {
+
+/// Source spans of expression nodes, keyed by node identity. expr::Expr is
+/// shared with the algebra layer, so spans ride alongside the tree instead
+/// of inside it; ExprPtr sharing keeps the keys alive as long as the
+/// statement. Nodes without an entry render span-less diagnostics.
+using ExprSpanMap = std::map<const expr::Expr*, SourceSpan>;
 
 /// A molecule structure expression from a FROM clause, e.g.
 /// `point-edge-(area-state,net-river)` or `part-[composition*]`.
@@ -30,10 +38,12 @@ struct StructureNode {
     bool recursive = false;           ///< '*' flag (child is null)
     int recursive_depth = -1;         ///< '*N' bounds the depth; -1 unbounded
     std::unique_ptr<StructureNode> child;
+    SourceSpan link_span;  ///< the `[lname...]` token, or the connector '-'
   };
 
   std::string atom;
   std::vector<Branch> branches;
+  SourceSpan span;  ///< the atom-type identifier token
 };
 
 /// FROM clause: an optional molecule-type name plus either an inline
@@ -44,6 +54,7 @@ struct StructureNode {
 struct FromClause {
   std::string molecule_name;  ///< empty for anonymous queries
   std::unique_ptr<StructureNode> structure;
+  SourceSpan name_span;  ///< the registration name, when present
 };
 
 /// One SELECT list item: a node label (`state`), a narrowed attribute
@@ -51,6 +62,8 @@ struct FromClause {
 struct ProjectionItem {
   std::string label;
   std::optional<std::string> attribute;  ///< nullopt means the whole node
+  SourceSpan label_span;
+  SourceSpan attr_span;
 };
 
 /// SELECT [ALL | items] FROM from [WHERE predicate].
@@ -59,12 +72,15 @@ struct SelectStatement {
   std::vector<ProjectionItem> items;
   FromClause from;
   expr::ExprPtr where;  ///< null when absent
+  ExprSpanMap expr_spans;
 };
 
 /// CREATE ATOM TYPE name (attr TYPE, ...).
 struct CreateAtomTypeStatement {
   std::string name;
   std::vector<std::pair<std::string, DataType>> attributes;
+  SourceSpan name_span;
+  std::vector<SourceSpan> attribute_spans;  ///< parallel to `attributes`
 };
 
 /// CREATE LINK TYPE name (first, second [, '1:1'|'1:n'|'n:1'|'n:m']).
@@ -73,12 +89,18 @@ struct CreateLinkTypeStatement {
   std::string first;
   std::string second;
   LinkCardinality cardinality = LinkCardinality::kManyToMany;
+  SourceSpan name_span;
+  SourceSpan first_span;
+  SourceSpan second_span;
 };
 
 /// INSERT INTO type VALUES (v, ...)[, (v, ...)]*.
 struct InsertAtomStatement {
   std::string atom_type;
   std::vector<std::vector<Value>> rows;
+  SourceSpan type_span;
+  std::vector<SourceSpan> row_spans;  ///< each row's '(' token
+  std::vector<std::vector<SourceSpan>> value_spans;  ///< parallel to `rows`
 };
 
 /// INSERT LINK lname FROM (pred) TO (pred): links every first-role atom
@@ -88,12 +110,16 @@ struct InsertLinkStatement {
   std::string link_type;
   expr::ExprPtr first_predicate;
   expr::ExprPtr second_predicate;
+  SourceSpan link_span;
+  ExprSpanMap expr_spans;
 };
 
 /// DELETE FROM type WHERE pred (links cascade, Def. 2's integrity).
 struct DeleteStatement {
   std::string atom_type;
   expr::ExprPtr predicate;  ///< null deletes everything
+  SourceSpan type_span;
+  ExprSpanMap expr_spans;
 };
 
 /// UPDATE type SET attr = expr, ... [WHERE pred]. Assignment expressions
@@ -102,6 +128,9 @@ struct UpdateStatement {
   std::string atom_type;
   std::vector<std::pair<std::string, expr::ExprPtr>> assignments;
   expr::ExprPtr predicate;  ///< null updates everything
+  SourceSpan type_span;
+  std::vector<SourceSpan> assignment_spans;  ///< target attrs, parallel
+  ExprSpanMap expr_spans;
 };
 
 /// EXPLAIN <select>: prints the molecule-algebra translation instead of
@@ -125,6 +154,8 @@ struct ShowMetricsStatement {};
 struct SetOptionStatement {
   std::string option;
   int64_t value = 0;
+  SourceSpan option_span;
+  SourceSpan value_span;
 };
 
 /// OPEN '<directory>': attaches the session to a durable database
@@ -138,12 +169,26 @@ struct OpenStatement {
 /// database.
 struct CheckpointStatement {};
 
+struct StatementBox;
+
+/// CHECK <statement>: runs the semantic analyzer over the inner statement
+/// and reports its diagnostics without executing anything — the MQL spelling
+/// of `mql_lint` for one statement. The box indirection lets the variant
+/// hold its own alias.
+struct CheckStatement {
+  std::shared_ptr<StatementBox> inner;
+};
+
 using Statement =
     std::variant<SelectStatement, CreateAtomTypeStatement,
                  CreateLinkTypeStatement, InsertAtomStatement,
                  InsertLinkStatement, DeleteStatement, UpdateStatement,
                  ExplainStatement, ShowMetricsStatement, SetOptionStatement,
-                 OpenStatement, CheckpointStatement>;
+                 OpenStatement, CheckpointStatement, CheckStatement>;
+
+struct StatementBox {
+  Statement value;
+};
 
 }  // namespace mql
 }  // namespace mad

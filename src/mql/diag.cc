@@ -1,0 +1,325 @@
+#include "mql/diag.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace mad {
+namespace mql {
+
+namespace {
+
+struct DiagInfo {
+  DiagId id;
+  const char* code;
+  Severity severity;
+  StatusCode status_code;
+};
+
+// Status codes mirror what the execution path historically returned for the
+// same mistake (e.g. an unknown atom type was a kNotFound from the catalog),
+// so pre-execution rejection is invisible to callers that switch on codes.
+constexpr DiagInfo kDiagInfo[] = {
+    {DiagId::kParseError, "MQL0001", Severity::kError, StatusCode::kParseError},
+    {DiagId::kUnknownAtomType, "MQL0101", Severity::kError,
+     StatusCode::kNotFound},
+    {DiagId::kUnknownLinkType, "MQL0102", Severity::kError,
+     StatusCode::kNotFound},
+    {DiagId::kUnknownAttribute, "MQL0103", Severity::kError,
+     StatusCode::kNotFound},
+    {DiagId::kUnknownQualifier, "MQL0104", Severity::kError,
+     StatusCode::kNotFound},
+    {DiagId::kUnknownFromName, "MQL0105", Severity::kError,
+     StatusCode::kNotFound},
+    {DiagId::kUnknownSetOption, "MQL0106", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kAmbiguousAttribute, "MQL0108", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kAmbiguousQualifier, "MQL0109", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kDuplicateStructureAtom, "MQL0201", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kNoConnectingLinkType, "MQL0202", Severity::kError,
+     StatusCode::kNotFound},
+    {DiagId::kAmbiguousImplicitLink, "MQL0203", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kLinkDirectionMismatch, "MQL0204", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kCyclicDescription, "MQL0205", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kMultipleRoots, "MQL0206", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kIncoherentDescription, "MQL0207", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kMisplacedRecursion, "MQL0208", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kNonReflexiveRecursion, "MQL0209", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kNonBooleanPredicate, "MQL0301", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kComparisonTypeMismatch, "MQL0302", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kNonNumericArithmetic, "MQL0303", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kInvalidRecursiveQualifier, "MQL0305", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kRecursiveProjection, "MQL0306", Severity::kError,
+     StatusCode::kUnsupported},
+    {DiagId::kForAllForeignReference, "MQL0307", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kNestedForAll, "MQL0308", Severity::kError,
+     StatusCode::kUnsupported},
+    {DiagId::kAggregateInAtomScope, "MQL0309", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kInsertArityMismatch, "MQL0401", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kValueTypeMismatch, "MQL0402", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kDuplicateAttribute, "MQL0403", Severity::kError,
+     StatusCode::kAlreadyExists},
+    {DiagId::kTypeAlreadyExists, "MQL0404", Severity::kError,
+     StatusCode::kAlreadyExists},
+    {DiagId::kInvalidOptionValue, "MQL0405", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kQualifierTypeMismatch, "MQL0406", Severity::kError,
+     StatusCode::kInvalidArgument},
+    {DiagId::kShadowedLabel, "MQL0501", Severity::kWarning,
+     StatusCode::kInvalidArgument},
+    {DiagId::kZeroDepthRecursion, "MQL0502", Severity::kWarning,
+     StatusCode::kInvalidArgument},
+    {DiagId::kRestrictionOnNarrowedAttribute, "MQL0503", Severity::kWarning,
+     StatusCode::kInvalidArgument},
+    {DiagId::kUnusedStructureNode, "MQL0504", Severity::kWarning,
+     StatusCode::kInvalidArgument},
+};
+
+const DiagInfo& InfoFor(DiagId id) {
+  for (const DiagInfo& info : kDiagInfo) {
+    if (info.id == id) return info;
+  }
+  return kDiagInfo[0];
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The source line (without its newline) containing byte `offset`.
+std::string_view LineAt(std::string_view source, size_t offset) {
+  if (offset > source.size()) offset = source.size();
+  size_t begin = source.rfind('\n', offset == 0 ? 0 : offset - 1);
+  begin = begin == std::string_view::npos ? 0 : begin + 1;
+  if (offset < begin) begin = offset;  // offset sits on the newline itself
+  size_t end = source.find('\n', offset);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(begin, end - begin);
+}
+
+void RenderSpanBlock(const SourceSpan& span, std::string_view source,
+                     std::string* out) {
+  std::string_view line = LineAt(source, span.offset);
+  std::string line_no = std::to_string(span.line);
+  std::string gutter(line_no.size(), ' ');
+  *out += "   " + gutter + " |\n";
+  *out += "   " + line_no + " | " + std::string(line) + "\n";
+  size_t caret_col = span.column > 0 ? span.column - 1 : 0;
+  if (caret_col > line.size()) caret_col = line.size();
+  size_t caret_len = span.length > 0 ? span.length : 1;
+  // A span never points past its own line in rendered output.
+  caret_len = std::min(caret_len, line.size() - caret_col + 1);
+  caret_len = std::max<size_t>(caret_len, 1);
+  *out += "   " + gutter + " | " + std::string(caret_col, ' ') +
+          std::string(caret_len, '^') + "\n";
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+const char* DiagCode(DiagId id) { return InfoFor(id).code; }
+
+Severity DiagSeverity(DiagId id) { return InfoFor(id).severity; }
+
+StatusCode DiagStatusCode(DiagId id) { return InfoFor(id).status_code; }
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity() == Severity::kError;
+  });
+}
+
+std::vector<Diagnostic> WarningsOnly(const std::vector<Diagnostic>& diags) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags) {
+    if (d.severity() != Severity::kError) out.push_back(d);
+  }
+  return out;
+}
+
+std::string RenderDiagnostic(const Diagnostic& diag, std::string_view source,
+                             std::string_view filename) {
+  std::string out;
+  out += std::string(SeverityName(diag.severity())) + "[" + diag.code() +
+         "]: " + diag.message + "\n";
+  if (diag.span.known()) {
+    out += "    --> ";
+    if (!filename.empty()) out += std::string(filename) + ":";
+    out += std::to_string(diag.span.line) + ":" +
+           std::to_string(diag.span.column) + "\n";
+    RenderSpanBlock(diag.span, source, &out);
+  }
+  for (const DiagNote& note : diag.notes) {
+    out += "    = note: " + note.message + "\n";
+    if (note.span.known()) RenderSpanBlock(note.span, source, &out);
+  }
+  return out;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diags,
+                              std::string_view source,
+                              std::string_view filename) {
+  std::string out;
+  for (const Diagnostic& diag : diags) {
+    if (!out.empty()) out += "\n";
+    out += RenderDiagnostic(diag, source, filename);
+  }
+  return out;
+}
+
+std::string FormatDiagnosticLine(const Diagnostic& diag) {
+  std::string out = std::string(diag.code()) + ": " + diag.message;
+  if (diag.span.known()) {
+    out += " (line " + std::to_string(diag.span.line) + ", column " +
+           std::to_string(diag.span.column) + ")";
+  }
+  for (const DiagNote& note : diag.notes) {
+    out += "; " + note.message;
+  }
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags,
+                              std::string_view filename) {
+  std::string out = "[";
+  bool first = true;
+  for (const Diagnostic& diag : diags) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"file\": \"" + JsonEscape(filename) + "\", \"code\": \"" +
+           diag.code() + "\", \"severity\": \"" +
+           SeverityName(diag.severity()) + "\", \"line\": " +
+           std::to_string(diag.span.line) + ", \"column\": " +
+           std::to_string(diag.span.column) + ", \"offset\": " +
+           std::to_string(diag.span.offset) + ", \"length\": " +
+           std::to_string(diag.span.length) + ", \"message\": \"" +
+           JsonEscape(diag.message) + "\", \"notes\": [";
+    for (size_t i = 0; i < diag.notes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"message\": \"" + JsonEscape(diag.notes[i].message) +
+             "\", \"line\": " + std::to_string(diag.notes[i].span.line) +
+             ", \"column\": " + std::to_string(diag.notes[i].span.column) +
+             "}";
+    }
+    out += "]}";
+  }
+  out += diags.empty() ? "]" : "\n]";
+  return out;
+}
+
+Status DiagnosticsToStatus(const std::vector<Diagnostic>& diags) {
+  std::string message;
+  StatusCode code = StatusCode::kInvalidArgument;
+  bool first = true;
+  for (const Diagnostic& diag : diags) {
+    if (diag.severity() != Severity::kError) continue;
+    if (first) code = DiagStatusCode(diag.id);
+    if (!first) message += "\n";
+    first = false;
+    message += FormatDiagnosticLine(diag);
+  }
+  if (first) return Status::Internal("DiagnosticsToStatus without errors");
+  return Status(code, std::move(message));
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t substitute =
+          diagonal + (lower(a[i - 1]) == lower(b[j - 1]) ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+      diagonal = up;
+    }
+  }
+  return row[b.size()];
+}
+
+std::optional<std::string> ClosestMatch(
+    std::string_view name, const std::vector<std::string>& candidates) {
+  if (name.empty()) return std::nullopt;
+  size_t budget = std::max<size_t>(1, name.size() / 3);
+  std::optional<std::string> best;
+  size_t best_distance = budget + 1;
+  for (const std::string& candidate : candidates) {
+    size_t d = EditDistance(name, candidate);
+    if (d > 0 && d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+void AddSuggestion(Diagnostic* diag, std::string_view name,
+                   const std::vector<std::string>& candidates) {
+  std::optional<std::string> match = ClosestMatch(name, candidates);
+  if (match.has_value()) {
+    diag->notes.push_back({"did you mean '" + *match + "'?", SourceSpan{}});
+  }
+}
+
+}  // namespace mql
+}  // namespace mad

@@ -1,0 +1,165 @@
+#ifndef MAD_MQL_DIAG_H_
+#define MAD_MQL_DIAG_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mad {
+namespace mql {
+
+/// A half-open byte range over the statement (or script) text, plus the
+/// 1-based line/column of its first byte. `line == 0` means "no usable
+/// location" (e.g. a synthesized AST node); renderers skip the caret then.
+struct SourceSpan {
+  size_t offset = 0;  ///< 0-based byte offset of the first byte
+  size_t length = 0;  ///< number of bytes covered (>= 1 for real tokens)
+  size_t line = 0;    ///< 1-based source line, 0 = unknown
+  size_t column = 0;  ///< 1-based column on that line
+
+  bool known() const { return line > 0; }
+};
+
+enum class Severity { kError, kWarning, kNote };
+
+const char* SeverityName(Severity severity);
+
+/// Stable diagnostic codes. The numeric blocks group by phase:
+/// MQL0001       parse/lex errors surfaced through the lint driver
+/// MQL01xx       name resolution
+/// MQL02xx       molecule structure / Def. 5 well-formedness
+/// MQL03xx       predicate and projection checking
+/// MQL04xx       DDL / DML checking
+/// MQL05xx       lint-grade warnings
+/// Codes are part of the tool's contract (tests and --json consumers pin
+/// them); never renumber an existing one.
+enum class DiagId {
+  kParseError,              // MQL0001
+  kUnknownAtomType,         // MQL0101
+  kUnknownLinkType,         // MQL0102
+  kUnknownAttribute,        // MQL0103
+  kUnknownQualifier,        // MQL0104
+  kUnknownFromName,         // MQL0105
+  kUnknownSetOption,        // MQL0106
+  kAmbiguousAttribute,      // MQL0108
+  kAmbiguousQualifier,      // MQL0109
+  kDuplicateStructureAtom,  // MQL0201
+  kNoConnectingLinkType,    // MQL0202
+  kAmbiguousImplicitLink,   // MQL0203
+  kLinkDirectionMismatch,   // MQL0204
+  kCyclicDescription,       // MQL0205
+  kMultipleRoots,           // MQL0206
+  kIncoherentDescription,   // MQL0207
+  kMisplacedRecursion,      // MQL0208
+  kNonReflexiveRecursion,   // MQL0209
+  kNonBooleanPredicate,     // MQL0301
+  kComparisonTypeMismatch,  // MQL0302
+  kNonNumericArithmetic,    // MQL0303
+  kInvalidRecursiveQualifier,  // MQL0305
+  kRecursiveProjection,     // MQL0306
+  kForAllForeignReference,  // MQL0307
+  kNestedForAll,            // MQL0308
+  kAggregateInAtomScope,    // MQL0309
+  kInsertArityMismatch,     // MQL0401
+  kValueTypeMismatch,       // MQL0402
+  kDuplicateAttribute,      // MQL0403
+  kTypeAlreadyExists,       // MQL0404
+  kInvalidOptionValue,      // MQL0405
+  kQualifierTypeMismatch,   // MQL0406
+  kShadowedLabel,           // MQL0501 (warning)
+  kZeroDepthRecursion,      // MQL0502 (warning)
+  kRestrictionOnNarrowedAttribute,  // MQL0503 (warning)
+  kUnusedStructureNode,     // MQL0504 (warning)
+};
+
+/// The stable "MQLxxxx" code string for a diagnostic id.
+const char* DiagCode(DiagId id);
+
+/// The default severity of a diagnostic id (05xx warn, the rest error).
+Severity DiagSeverity(DiagId id);
+
+/// The StatusCode Execute() reports when this diagnostic blocks a
+/// statement — chosen to match what the execution path historically
+/// returned for the same mistake, so callers switching on codes keep
+/// working.
+StatusCode DiagStatusCode(DiagId id);
+
+/// A secondary location or remark attached to a diagnostic ("first
+/// occurrence was here", "did you mean 'state'?").
+struct DiagNote {
+  std::string message;
+  SourceSpan span;  ///< may be unknown; rendered without a caret then
+};
+
+/// One structured diagnostic: a stable code, a primary message and span,
+/// and any number of notes.
+struct Diagnostic {
+  DiagId id = DiagId::kParseError;
+  std::string message;
+  SourceSpan span;
+  std::vector<DiagNote> notes;
+
+  const char* code() const { return DiagCode(id); }
+  Severity severity() const { return DiagSeverity(id); }
+};
+
+/// True iff any diagnostic in `diags` is error-severity.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+/// Splits warnings (and notes) out of `diags`, keeping relative order.
+std::vector<Diagnostic> WarningsOnly(const std::vector<Diagnostic>& diags);
+
+/// Renders one diagnostic rustc-style over its source text:
+///
+///   error[MQL0101]: unknown atom type 'statee'
+///     --> 2:15
+///      |
+///    2 | SELECT ALL FROM statee-area
+///      |                 ^^^^^^
+///      = note: did you mean 'state'?
+///
+/// `filename` (when non-empty) prefixes the location as `file:line:col`.
+std::string RenderDiagnostic(const Diagnostic& diag, std::string_view source,
+                             std::string_view filename = {});
+
+/// Renders every diagnostic, separated by blank lines.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diags,
+                              std::string_view source,
+                              std::string_view filename = {});
+
+/// One-line form: `error[MQL0101]: unknown atom type 'statee' (line 2,
+/// column 15); did you mean 'state'?` — used for Status messages.
+std::string FormatDiagnosticLine(const Diagnostic& diag);
+
+/// Stable JSON for scripts/CI: an array of
+/// {"file","code","severity","line","column","offset","length","message",
+///  "notes":[{"message","line","column"}]} objects, sorted as given.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags,
+                              std::string_view filename = {});
+
+/// Collapses the error diagnostics into the Status that Execute() returns:
+/// the StatusCode of the first error, with one FormatDiagnosticLine per
+/// error joined by newlines. Requires HasErrors(diags).
+Status DiagnosticsToStatus(const std::vector<Diagnostic>& diags);
+
+/// Levenshtein edit distance (insert/delete/substitute, all cost 1),
+/// case-insensitive — MQL identifiers compare case-sensitively but typos
+/// rarely respect case.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `name` when it is close enough to plausibly be
+/// a typo (distance <= max(1, |name|/3)); nullopt otherwise.
+std::optional<std::string> ClosestMatch(
+    std::string_view name, const std::vector<std::string>& candidates);
+
+/// Appends a "did you mean '...'?" note when a close candidate exists.
+void AddSuggestion(Diagnostic* diag, std::string_view name,
+                   const std::vector<std::string>& candidates);
+
+}  // namespace mql
+}  // namespace mad
+
+#endif  // MAD_MQL_DIAG_H_

@@ -1,5 +1,6 @@
 #include "mql/lexer.h"
 
+#include <algorithm>
 #include <cctype>
 
 #include "util/string_util.h"
@@ -79,6 +80,8 @@ const char* TokenKindName(TokenKind kind) {
       return "OPEN";
     case TokenKind::kCheckpoint:
       return "CHECKPOINT";
+    case TokenKind::kCheck:
+      return "CHECK";
     case TokenKind::kLParen:
       return "'('";
     case TokenKind::kRParen:
@@ -135,8 +138,36 @@ constexpr Keyword kKeywords[] = {
     {"count", TokenKind::kCount},   {"forall", TokenKind::kForAll},
     {"open", TokenKind::kOpen},     {"checkpoint", TokenKind::kCheckpoint},
     {"analyze", TokenKind::kAnalyze}, {"show", TokenKind::kShow},
-    {"metrics", TokenKind::kMetrics},
+    {"metrics", TokenKind::kMetrics}, {"check", TokenKind::kCheck},
 };
+
+/// 0-based byte offsets of every line start, for offset -> line:column.
+std::vector<size_t> LineStarts(const std::string& text) {
+  std::vector<size_t> starts{0};
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+SourceSpan SpanFor(const std::vector<size_t>& line_starts, size_t offset,
+                   size_t length) {
+  auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+  size_t line_idx = static_cast<size_t>(it - line_starts.begin()) - 1;
+  SourceSpan span;
+  span.offset = offset;
+  span.length = length;
+  span.line = line_idx + 1;
+  span.column = offset - line_starts[line_idx] + 1;
+  return span;
+}
+
+std::string LocationText(const std::vector<size_t>& line_starts,
+                         size_t offset) {
+  SourceSpan span = SpanFor(line_starts, offset, 1);
+  return "line " + std::to_string(span.line) + ", column " +
+         std::to_string(span.column);
+}
 
 }  // namespace
 
@@ -144,12 +175,16 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
   std::vector<Token> tokens;
   size_t i = 0;
   const size_t n = text.size();
+  const std::vector<size_t> line_starts = LineStarts(text);
 
-  auto push = [&](TokenKind kind, size_t pos, std::string spelling = "") {
+  // `pos` is the token's first byte; the span runs to the current scan
+  // position `i` (or `pos + len` for the symbol cases that pass one).
+  auto push = [&](TokenKind kind, size_t pos, std::string spelling = "",
+                  size_t len = 0) {
     Token t;
     t.kind = kind;
     t.text = std::move(spelling);
-    t.position = pos + 1;
+    t.span = SpanFor(line_starts, pos, len > 0 ? len : (i > pos ? i - pos : 1));
     tokens.push_back(std::move(t));
   };
 
@@ -197,7 +232,7 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
       }
       std::string number = text.substr(begin, i - begin);
       Token t;
-      t.position = begin + 1;
+      t.span = SpanFor(line_starts, begin, i - begin);
       t.text = number;
       if (is_double) {
         t.kind = TokenKind::kDouble;
@@ -207,8 +242,8 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
         try {
           t.int_value = std::stoll(number);
         } catch (const std::out_of_range&) {
-          return Status::ParseError("integer literal out of range at position " +
-                                    std::to_string(begin + 1));
+          return Status::ParseError("integer literal out of range at " +
+                                    LocationText(line_starts, begin));
         }
       }
       tokens.push_back(std::move(t));
@@ -233,8 +268,8 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
         value += text[i++];
       }
       if (!closed) {
-        return Status::ParseError("unterminated string literal at position " +
-                                  std::to_string(start + 1));
+        return Status::ParseError("unterminated string literal at " +
+                                  LocationText(line_starts, start));
       }
       push(TokenKind::kString, start, std::move(value));
       continue;
@@ -243,16 +278,16 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
     if (c == '[') {
       size_t close = text.find(']', i + 1);
       if (close == std::string::npos) {
-        return Status::ParseError("unterminated link reference at position " +
-                                  std::to_string(start + 1));
+        return Status::ParseError("unterminated link reference at " +
+                                  LocationText(line_starts, start));
       }
       std::string body(StripWhitespace(text.substr(i + 1, close - i - 1)));
       if (body.empty()) {
-        return Status::ParseError("empty link reference at position " +
-                                  std::to_string(start + 1));
+        return Status::ParseError("empty link reference at " +
+                                  LocationText(line_starts, start));
       }
-      push(TokenKind::kLinkRef, start, std::move(body));
       i = close + 1;
+      push(TokenKind::kLinkRef, start, std::move(body));
       continue;
     }
 
@@ -300,19 +335,19 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
         break;
       case '!':
         if (two('=')) {
-          push(TokenKind::kNe, start);
+          push(TokenKind::kNe, start, "", 2);
           i += 2;
         } else {
-          return Status::ParseError("unexpected '!' at position " +
-                                    std::to_string(start + 1));
+          return Status::ParseError("unexpected '!' at " +
+                                    LocationText(line_starts, start));
         }
         break;
       case '<':
         if (two('=')) {
-          push(TokenKind::kLe, start);
+          push(TokenKind::kLe, start, "", 2);
           i += 2;
         } else if (two('>')) {
-          push(TokenKind::kNe, start);
+          push(TokenKind::kNe, start, "", 2);
           i += 2;
         } else {
           push(TokenKind::kLt, start);
@@ -321,7 +356,7 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
         break;
       case '>':
         if (two('=')) {
-          push(TokenKind::kGe, start);
+          push(TokenKind::kGe, start, "", 2);
           i += 2;
         } else {
           push(TokenKind::kGt, start);
@@ -330,13 +365,13 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
         break;
       default:
         return Status::ParseError(std::string("unexpected character '") + c +
-                                  "' at position " + std::to_string(start + 1));
+                                  "' at " + LocationText(line_starts, start));
     }
   }
 
   Token end;
   end.kind = TokenKind::kEnd;
-  end.position = n + 1;
+  end.span = SpanFor(line_starts, n, 1);
   tokens.push_back(end);
   return tokens;
 }

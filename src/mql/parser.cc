@@ -1,6 +1,7 @@
 #include "mql/parser.h"
 
 #include <cctype>
+#include <utility>
 
 #include "mql/lexer.h"
 #include "util/string_util.h"
@@ -56,17 +57,46 @@ class Parser {
                  TokenKindName(Peek().kind));
   }
   Status Error(const std::string& message) const {
-    return Status::ParseError(message + " (position " +
-                              std::to_string(Peek().position) + ")");
+    const SourceSpan& at = Peek().span;
+    return Status::ParseError(message + " (line " + std::to_string(at.line) +
+                              ", column " + std::to_string(at.column) + ")");
   }
 
   Result<std::string> ExpectIdentifier(const char* what) {
+    MAD_ASSIGN_OR_RETURN(Token tok, ExpectIdentifierToken(what));
+    return std::move(tok.text);
+  }
+
+  /// Like ExpectIdentifier but keeps the token, for callers that record
+  /// its span into the AST.
+  Result<Token> ExpectIdentifierToken(const char* what) {
     if (Peek().kind != TokenKind::kIdentifier) {
       return Error(std::string("expected ") + what + ", found " +
                    TokenKindName(Peek().kind));
     }
-    return Advance().text;
+    return Advance();
   }
+
+  /// Index of the next token; pairs with SpanSince to cover a parsed range.
+  size_t Mark() const { return pos_; }
+
+  /// The span from the token at `mark` through the last consumed token.
+  SourceSpan SpanSince(size_t mark) const {
+    if (mark >= tokens_.size()) mark = tokens_.size() - 1;
+    SourceSpan span = tokens_[mark].span;
+    const Token& last = tokens_[pos_ > mark ? pos_ - 1 : mark];
+    size_t end = last.span.offset + last.span.length;
+    if (end > span.offset) span.length = end - span.offset;
+    return span;
+  }
+
+  /// Records the source range of an expression node (side map: expr::Expr
+  /// is shared with the algebra layer and carries no spans itself).
+  void NoteExpr(const expr::ExprPtr& e, size_t mark) {
+    if (e != nullptr) expr_spans_[e.get()] = SpanSince(mark);
+  }
+
+  ExprSpanMap TakeExprSpans() { return std::exchange(expr_spans_, {}); }
 
   Result<Statement> ParseStatementInner() {
     switch (Peek().kind) {
@@ -101,10 +131,21 @@ class Parser {
       case TokenKind::kCheckpoint:
         Advance();
         return Statement(CheckpointStatement{});
+      case TokenKind::kCheck: {
+        Advance();
+        if (Peek().kind == TokenKind::kCheck) {
+          return Error("CHECK does not nest");
+        }
+        MAD_ASSIGN_OR_RETURN(Statement inner, ParseStatementInner());
+        CheckStatement stmt;
+        stmt.inner = std::make_shared<StatementBox>();
+        stmt.inner->value = std::move(inner);
+        return Statement(std::move(stmt));
+      }
       default:
         return Error(
             "expected SELECT, CREATE, INSERT, UPDATE, DELETE, SET, OPEN, "
-            "CHECKPOINT, SHOW, or EXPLAIN");
+            "CHECKPOINT, SHOW, EXPLAIN, or CHECK");
     }
   }
 
@@ -112,17 +153,21 @@ class Parser {
   Result<Statement> ParseSetOption() {
     MAD_RETURN_IF_ERROR(Expect(TokenKind::kSet));
     SetOptionStatement stmt;
-    MAD_ASSIGN_OR_RETURN(stmt.option, ExpectIdentifier("option name"));
+    MAD_ASSIGN_OR_RETURN(Token option, ExpectIdentifierToken("option name"));
+    stmt.option = std::move(option.text);
+    stmt.option_span = option.span;
     Accept(TokenKind::kEq);  // optional '='
     if (Peek().kind == TokenKind::kIdentifier &&
         (EqualsIgnoreCase(Peek().text, "on") ||
          EqualsIgnoreCase(Peek().text, "off"))) {
+      stmt.value_span = Peek().span;
       stmt.value = EqualsIgnoreCase(Advance().text, "on") ? 1 : 0;
       return Statement(std::move(stmt));
     }
     if (Peek().kind != TokenKind::kInteger) {
       return Error("expected non-negative integer, ON, or OFF option value");
     }
+    stmt.value_span = Peek().span;
     stmt.value = Advance().int_value;
     return Statement(std::move(stmt));
   }
@@ -148,14 +193,18 @@ class Parser {
       stmt.select_all = false;
       do {
         ProjectionItem item;
-        MAD_ASSIGN_OR_RETURN(item.label, ExpectIdentifier("projection label"));
+        MAD_ASSIGN_OR_RETURN(Token label,
+                             ExpectIdentifierToken("projection label"));
+        item.label = std::move(label.text);
+        item.label_span = label.span;
         if (Accept(TokenKind::kDot)) {
           if (Accept(TokenKind::kStar)) {
             item.attribute = std::nullopt;  // label.* == label
           } else {
-            MAD_ASSIGN_OR_RETURN(std::string attr,
-                                 ExpectIdentifier("attribute name"));
-            item.attribute = std::move(attr);
+            MAD_ASSIGN_OR_RETURN(Token attr,
+                                 ExpectIdentifierToken("attribute name"));
+            item.attribute = std::move(attr.text);
+            item.attr_span = attr.span;
           }
         }
         stmt.items.push_back(std::move(item));
@@ -166,6 +215,7 @@ class Parser {
     if (Accept(TokenKind::kWhere)) {
       MAD_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
     }
+    stmt.expr_spans = TakeExprSpans();
     return Statement(std::move(stmt));
   }
 
@@ -177,6 +227,7 @@ class Parser {
     // two-token lookahead is unambiguous.
     if (Peek().kind == TokenKind::kIdentifier &&
         Peek(1).kind == TokenKind::kLParen) {
+      from.name_span = Peek().span;
       from.molecule_name = Advance().text;
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
       MAD_ASSIGN_OR_RETURN(from.structure, ParseStructure());
@@ -193,7 +244,9 @@ class Parser {
   // the remaining structure (implicitly rooted at A).
   Result<std::unique_ptr<StructureNode>> ParseStructure() {
     auto node = std::make_unique<StructureNode>();
-    MAD_ASSIGN_OR_RETURN(node->atom, ExpectIdentifier("atom type"));
+    MAD_ASSIGN_OR_RETURN(Token atom, ExpectIdentifierToken("atom type"));
+    node->atom = std::move(atom.text);
+    node->span = atom.span;
     MAD_RETURN_IF_ERROR(ParseTail(node.get()));
     return node;
   }
@@ -201,9 +254,12 @@ class Parser {
   Status ParseTail(StructureNode* start) {
     StructureNode* current = start;
     while (Peek().kind == TokenKind::kDash) {
+      SourceSpan connector_span = Peek().span;
       Advance();  // '-'
       StructureNode::Branch branch;
+      branch.link_span = connector_span;
       if (Peek().kind == TokenKind::kLinkRef) {
+        branch.link_span = Peek().span;
         std::string body = Advance().text;
         // A '*' may carry a depth bound: [composition*3]. Digits belong to
         // the link name unless a '*' precedes them.
@@ -242,8 +298,11 @@ class Parser {
           if (Accept(TokenKind::kDash)) {
             auto expansion = std::make_unique<StructureNode>();
             expansion->atom = current->atom;
+            expansion->span = current->span;
             StructureNode::Branch inner;
+            inner.link_span = connector_span;
             if (Peek().kind == TokenKind::kLinkRef) {
+              inner.link_span = Peek().span;
               std::string inner_body = Advance().text;
               inner_body = std::string(StripWhitespace(inner_body));
               if (inner_body.empty() || inner_body.back() == '*') {
@@ -261,6 +320,7 @@ class Parser {
                 StructureNode::Branch element;
                 element.link = inner.link;
                 element.reverse = inner.reverse;
+                element.link_span = inner.link_span;
                 MAD_ASSIGN_OR_RETURN(element.child, ParseStructure());
                 expansion->branches.push_back(std::move(element));
               } while (Accept(TokenKind::kComma));
@@ -281,20 +341,23 @@ class Parser {
         // not continue after ')'.
         std::optional<std::string> shared_link = branch.link;
         bool shared_reverse = branch.reverse;
+        SourceSpan shared_span = branch.link_span;
         do {
           StructureNode::Branch element;
           element.link = shared_link;
           element.reverse = shared_reverse;
+          element.link_span = shared_span;
           MAD_ASSIGN_OR_RETURN(element.child, ParseStructure());
           current->branches.push_back(std::move(element));
         } while (Accept(TokenKind::kComma));
         MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
         break;
       }
-      MAD_ASSIGN_OR_RETURN(std::string next_atom,
-                           ExpectIdentifier("atom type after '-'"));
+      MAD_ASSIGN_OR_RETURN(Token next_atom,
+                           ExpectIdentifierToken("atom type after '-'"));
       auto child = std::make_unique<StructureNode>();
-      child->atom = std::move(next_atom);
+      child->atom = std::move(next_atom.text);
+      child->span = next_atom.span;
       StructureNode* next = child.get();
       branch.child = std::move(child);
       current->branches.push_back(std::move(branch));
@@ -310,18 +373,22 @@ class Parser {
     if (Accept(TokenKind::kAtom)) {
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kType));
       CreateAtomTypeStatement stmt;
-      MAD_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("atom type name"));
+      MAD_ASSIGN_OR_RETURN(Token name,
+                           ExpectIdentifierToken("atom type name"));
+      stmt.name = std::move(name.text);
+      stmt.name_span = name.span;
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
       do {
-        MAD_ASSIGN_OR_RETURN(std::string attr,
-                             ExpectIdentifier("attribute name"));
+        MAD_ASSIGN_OR_RETURN(Token attr,
+                             ExpectIdentifierToken("attribute name"));
         MAD_ASSIGN_OR_RETURN(std::string type_name,
                              ExpectIdentifier("data type"));
         DataType type = DataTypeFromName(type_name);
         if (type == DataType::kNull) {
           return Error("unknown data type '" + type_name + "'");
         }
-        stmt.attributes.emplace_back(std::move(attr), type);
+        stmt.attributes.emplace_back(std::move(attr.text), type);
+        stmt.attribute_spans.push_back(attr.span);
       } while (Accept(TokenKind::kComma));
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
       return Statement(std::move(stmt));
@@ -329,11 +396,18 @@ class Parser {
     if (Accept(TokenKind::kLink)) {
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kType));
       CreateLinkTypeStatement stmt;
-      MAD_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("link type name"));
+      MAD_ASSIGN_OR_RETURN(Token name,
+                           ExpectIdentifierToken("link type name"));
+      stmt.name = std::move(name.text);
+      stmt.name_span = name.span;
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
-      MAD_ASSIGN_OR_RETURN(stmt.first, ExpectIdentifier("atom type"));
+      MAD_ASSIGN_OR_RETURN(Token first, ExpectIdentifierToken("atom type"));
+      stmt.first = std::move(first.text);
+      stmt.first_span = first.span;
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kComma));
-      MAD_ASSIGN_OR_RETURN(stmt.second, ExpectIdentifier("atom type"));
+      MAD_ASSIGN_OR_RETURN(Token second, ExpectIdentifierToken("atom type"));
+      stmt.second = std::move(second.text);
+      stmt.second_span = second.span;
       if (Accept(TokenKind::kComma)) {
         // Extended link-type definition: cardinality restriction.
         if (Peek().kind != TokenKind::kString) {
@@ -355,28 +429,38 @@ class Parser {
     MAD_RETURN_IF_ERROR(Expect(TokenKind::kInsert));
     if (Accept(TokenKind::kInto)) {
       InsertAtomStatement stmt;
-      MAD_ASSIGN_OR_RETURN(stmt.atom_type, ExpectIdentifier("atom type"));
+      MAD_ASSIGN_OR_RETURN(Token type, ExpectIdentifierToken("atom type"));
+      stmt.atom_type = std::move(type.text);
+      stmt.type_span = type.span;
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kValues));
       do {
+        stmt.row_spans.push_back(Peek().span);
         MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
         std::vector<Value> row;
+        std::vector<SourceSpan> row_value_spans;
         if (Peek().kind != TokenKind::kRParen) {
           do {
+            size_t mark = Mark();
             MAD_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
             row.push_back(std::move(v));
+            row_value_spans.push_back(SpanSince(mark));
           } while (Accept(TokenKind::kComma));
         }
         MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
         stmt.rows.push_back(std::move(row));
+        stmt.value_spans.push_back(std::move(row_value_spans));
       } while (Accept(TokenKind::kComma));
       return Statement(std::move(stmt));
     }
     if (Accept(TokenKind::kLink)) {
       InsertLinkStatement stmt;
       if (Peek().kind == TokenKind::kLinkRef) {
+        stmt.link_span = Peek().span;
         stmt.link_type = Advance().text;
       } else {
-        MAD_ASSIGN_OR_RETURN(stmt.link_type, ExpectIdentifier("link type"));
+        MAD_ASSIGN_OR_RETURN(Token link, ExpectIdentifierToken("link type"));
+        stmt.link_type = std::move(link.text);
+        stmt.link_span = link.span;
       }
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
@@ -386,6 +470,7 @@ class Parser {
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
       MAD_ASSIGN_OR_RETURN(stmt.second_predicate, ParseExpr());
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      stmt.expr_spans = TakeExprSpans();
       return Statement(std::move(stmt));
     }
     return Error("expected INTO or LINK after INSERT");
@@ -395,28 +480,35 @@ class Parser {
     MAD_RETURN_IF_ERROR(Expect(TokenKind::kDelete));
     MAD_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
     DeleteStatement stmt;
-    MAD_ASSIGN_OR_RETURN(stmt.atom_type, ExpectIdentifier("atom type"));
+    MAD_ASSIGN_OR_RETURN(Token type, ExpectIdentifierToken("atom type"));
+    stmt.atom_type = std::move(type.text);
+    stmt.type_span = type.span;
     if (Accept(TokenKind::kWhere)) {
       MAD_ASSIGN_OR_RETURN(stmt.predicate, ParseExpr());
     }
+    stmt.expr_spans = TakeExprSpans();
     return Statement(std::move(stmt));
   }
 
   Result<Statement> ParseUpdate() {
     MAD_RETURN_IF_ERROR(Expect(TokenKind::kUpdate));
     UpdateStatement stmt;
-    MAD_ASSIGN_OR_RETURN(stmt.atom_type, ExpectIdentifier("atom type"));
+    MAD_ASSIGN_OR_RETURN(Token type, ExpectIdentifierToken("atom type"));
+    stmt.atom_type = std::move(type.text);
+    stmt.type_span = type.span;
     MAD_RETURN_IF_ERROR(Expect(TokenKind::kSet));
     do {
-      MAD_ASSIGN_OR_RETURN(std::string attr,
-                           ExpectIdentifier("attribute name"));
+      MAD_ASSIGN_OR_RETURN(Token attr,
+                           ExpectIdentifierToken("attribute name"));
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kEq));
       MAD_ASSIGN_OR_RETURN(expr::ExprPtr value, ParseAdditive());
-      stmt.assignments.emplace_back(std::move(attr), std::move(value));
+      stmt.assignments.emplace_back(std::move(attr.text), std::move(value));
+      stmt.assignment_spans.push_back(attr.span);
     } while (Accept(TokenKind::kComma));
     if (Accept(TokenKind::kWhere)) {
       MAD_ASSIGN_OR_RETURN(stmt.predicate, ParseExpr());
     }
+    stmt.expr_spans = TakeExprSpans();
     return Statement(std::move(stmt));
   }
 
@@ -454,27 +546,34 @@ class Parser {
   Result<expr::ExprPtr> ParseExpr() { return ParseOr(); }
 
   Result<expr::ExprPtr> ParseOr() {
+    size_t mark = Mark();
     MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseAnd());
     while (Accept(TokenKind::kOr)) {
       MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseAnd());
       lhs = expr::Or(std::move(lhs), std::move(rhs));
+      NoteExpr(lhs, mark);
     }
     return lhs;
   }
 
   Result<expr::ExprPtr> ParseAnd() {
+    size_t mark = Mark();
     MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseNot());
     while (Accept(TokenKind::kAnd)) {
       MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseNot());
       lhs = expr::And(std::move(lhs), std::move(rhs));
+      NoteExpr(lhs, mark);
     }
     return lhs;
   }
 
   Result<expr::ExprPtr> ParseNot() {
+    size_t mark = Mark();
     if (Accept(TokenKind::kNot)) {
       MAD_ASSIGN_OR_RETURN(expr::ExprPtr operand, ParseNot());
-      return expr::Not(std::move(operand));
+      expr::ExprPtr e = expr::Not(std::move(operand));
+      NoteExpr(e, mark);
+      return e;
     }
     if (Accept(TokenKind::kForAll)) {
       MAD_ASSIGN_OR_RETURN(std::string label,
@@ -482,12 +581,15 @@ class Parser {
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
       MAD_ASSIGN_OR_RETURN(expr::ExprPtr inner, ParseExpr());
       MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
-      return expr::ForAll(std::move(label), std::move(inner));
+      expr::ExprPtr e = expr::ForAll(std::move(label), std::move(inner));
+      NoteExpr(e, mark);
+      return e;
     }
     return ParseComparison();
   }
 
   Result<expr::ExprPtr> ParseComparison() {
+    size_t mark = Mark();
     MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseAdditive());
     expr::CompareOp op;
     switch (Peek().kind) {
@@ -514,18 +616,24 @@ class Parser {
     }
     Advance();
     MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseAdditive());
-    return expr::Expr::MakeCompare(op, std::move(lhs), std::move(rhs));
+    expr::ExprPtr e =
+        expr::Expr::MakeCompare(op, std::move(lhs), std::move(rhs));
+    NoteExpr(e, mark);
+    return e;
   }
 
   Result<expr::ExprPtr> ParseAdditive() {
+    size_t mark = Mark();
     MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseMultiplicative());
     while (true) {
       if (Accept(TokenKind::kPlus)) {
         MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseMultiplicative());
         lhs = expr::Add(std::move(lhs), std::move(rhs));
+        NoteExpr(lhs, mark);
       } else if (Accept(TokenKind::kDash)) {
         MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseMultiplicative());
         lhs = expr::Sub(std::move(lhs), std::move(rhs));
+        NoteExpr(lhs, mark);
       } else {
         return lhs;
       }
@@ -533,14 +641,17 @@ class Parser {
   }
 
   Result<expr::ExprPtr> ParseMultiplicative() {
+    size_t mark = Mark();
     MAD_ASSIGN_OR_RETURN(expr::ExprPtr lhs, ParseUnary());
     while (true) {
       if (Accept(TokenKind::kStar)) {
         MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseUnary());
         lhs = expr::Mul(std::move(lhs), std::move(rhs));
+        NoteExpr(lhs, mark);
       } else if (Accept(TokenKind::kSlash)) {
         MAD_ASSIGN_OR_RETURN(expr::ExprPtr rhs, ParseUnary());
         lhs = expr::Div(std::move(lhs), std::move(rhs));
+        NoteExpr(lhs, mark);
       } else {
         return lhs;
       }
@@ -548,42 +659,50 @@ class Parser {
   }
 
   Result<expr::ExprPtr> ParseUnary() {
+    size_t mark = Mark();
     if (Accept(TokenKind::kDash)) {
       MAD_ASSIGN_OR_RETURN(expr::ExprPtr operand, ParseUnary());
-      return expr::Sub(expr::Lit(int64_t{0}), std::move(operand));
+      expr::ExprPtr e = expr::Sub(expr::Lit(int64_t{0}), std::move(operand));
+      NoteExpr(e, mark);
+      return e;
     }
     return ParsePrimary();
   }
 
   Result<expr::ExprPtr> ParsePrimary() {
+    size_t mark = Mark();
+    auto noted = [&](expr::ExprPtr e) {
+      NoteExpr(e, mark);
+      return e;
+    };
     const Token& t = Peek();
     switch (t.kind) {
       case TokenKind::kString:
         Advance();
-        return expr::Lit(Value(t.text));
+        return noted(expr::Lit(Value(t.text)));
       case TokenKind::kInteger:
         Advance();
-        return expr::Lit(Value(t.int_value));
+        return noted(expr::Lit(Value(t.int_value)));
       case TokenKind::kDouble:
         Advance();
-        return expr::Lit(Value(t.double_value));
+        return noted(expr::Lit(Value(t.double_value)));
       case TokenKind::kTrue:
         Advance();
-        return expr::Lit(Value(true));
+        return noted(expr::Lit(Value(true)));
       case TokenKind::kFalse:
         Advance();
-        return expr::Lit(Value(false));
+        return noted(expr::Lit(Value(false)));
       case TokenKind::kNull:
         Advance();
-        return expr::Lit(Value());
+        return noted(expr::Lit(Value()));
       case TokenKind::kIdentifier: {
         std::string first = Advance().text;
         if (Accept(TokenKind::kDot)) {
           MAD_ASSIGN_OR_RETURN(std::string attr,
                                ExpectIdentifier("attribute name"));
-          return expr::Attr(std::move(first), std::move(attr));
+          return noted(expr::Attr(std::move(first), std::move(attr)));
         }
-        return expr::Attr(std::move(first));
+        return noted(expr::Attr(std::move(first)));
       }
       case TokenKind::kCount: {
         Advance();
@@ -591,7 +710,7 @@ class Parser {
         MAD_ASSIGN_OR_RETURN(std::string label,
                              ExpectIdentifier("node label"));
         MAD_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
-        return expr::Count(std::move(label));
+        return noted(expr::Count(std::move(label)));
       }
       case TokenKind::kLParen: {
         Advance();
@@ -607,6 +726,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  ExprSpanMap expr_spans_;
 };
 
 }  // namespace

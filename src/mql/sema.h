@@ -1,0 +1,68 @@
+#ifndef MAD_MQL_SEMA_H_
+#define MAD_MQL_SEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "molecule/description.h"
+#include "mql/ast.h"
+#include "mql/diag.h"
+#include "storage/database.h"
+
+namespace mad {
+namespace mql {
+
+/// The session options SET accepts, in display order. Session::RunSetOption
+/// dispatches against this same list, so the analyzer's MQL0106 suggestion
+/// text and the executor's "available: ..." error cannot drift apart.
+const std::vector<std::string>& KnownSessionOptions();
+
+/// One node of a candidate molecule-type description graph, as fed to
+/// CheckDescriptionGraph. The span points at the construct that introduced
+/// the node (for MQL structures, the atom-type token).
+struct DescNode {
+  std::string label;
+  std::string type_name;
+  SourceSpan span;
+};
+
+/// One directed link of a candidate description graph.
+struct DescLink {
+  std::string link_type;
+  std::string from;
+  std::string to;
+  SourceSpan span;
+};
+
+/// Checks the paper's md_graph predicate (Def. 5) on an arbitrary
+/// description graph and appends one diagnostic per violation:
+///
+///   MQL0201  duplicate node label (C is a set)
+///   MQL0205  the directed graph has a cycle
+///   MQL0206  more than one root (in-degree-0 node) in a connected graph
+///   MQL0207  the graph is not coherent (falls apart into components)
+///
+/// MQL structures parse to trees, which satisfy md_graph by construction;
+/// this entry point exists so the Def. 5 checks stay honest and directly
+/// testable on graphs the grammar cannot spell (programmatic descriptions,
+/// future syntax). AnalyzeStatement routes every structure through it.
+void CheckDescriptionGraph(const std::vector<DescNode>& nodes,
+                           const std::vector<DescLink>& links,
+                           std::vector<Diagnostic>* out);
+
+/// Statically analyzes one parsed statement against the database catalog
+/// and the session's registered molecule types, without executing anything.
+/// Returns every diagnostic found (errors and warnings, in source order of
+/// discovery). The analyzer never rejects a statement the executor would
+/// accept; it is deliberately stricter only about type errors that the
+/// executor reports lazily per-atom (and therefore misses on empty data).
+std::vector<Diagnostic> AnalyzeStatement(
+    const Database& db,
+    const std::map<std::string, MoleculeDescription>& registry,
+    const Statement& statement);
+
+}  // namespace mql
+}  // namespace mad
+
+#endif  // MAD_MQL_SEMA_H_

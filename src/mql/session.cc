@@ -8,6 +8,7 @@
 #include "molecule/qualification.h"
 #include "mql/optimizer.h"
 #include "mql/parser.h"
+#include "mql/sema.h"
 #include "mql/translator.h"
 #include "text/printer.h"
 #include "util/metrics.h"
@@ -113,7 +114,15 @@ class RecursiveQualifier {
 
 Result<QueryResult> Session::Execute(const std::string& text) {
   MAD_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
-  return Run(std::move(stmt));
+  std::vector<Diagnostic> diags = AnalyzeStatement(*db_, registry_, stmt);
+  if (HasErrors(diags)) return DiagnosticsToStatus(diags);
+  Result<QueryResult> result = Run(std::move(stmt));
+  if (result.ok()) {
+    for (Diagnostic& warning : WarningsOnly(diags)) {
+      result->diagnostics.push_back(std::move(warning));
+    }
+  }
+  return result;
 }
 
 Result<std::vector<QueryResult>> Session::ExecuteScript(
@@ -122,8 +131,16 @@ Result<std::vector<QueryResult>> Session::ExecuteScript(
   std::vector<QueryResult> results;
   results.reserve(statements.size());
   for (Statement& stmt : statements) {
-    MAD_ASSIGN_OR_RETURN(QueryResult result, Run(std::move(stmt)));
-    results.push_back(std::move(result));
+    // Analyze per statement, not upfront: later statements must see the
+    // catalog effects of earlier DDL in the script.
+    std::vector<Diagnostic> diags = AnalyzeStatement(*db_, registry_, stmt);
+    if (HasErrors(diags)) return DiagnosticsToStatus(diags);
+    Result<QueryResult> result = Run(std::move(stmt));
+    if (!result.ok()) return result.status();
+    for (Diagnostic& warning : WarningsOnly(diags)) {
+      result->diagnostics.push_back(std::move(warning));
+    }
+    results.push_back(std::move(*result));
   }
   return results;
 }
@@ -174,6 +191,8 @@ Result<QueryResult> Session::RunStatement(Statement statement) {
           return RunOpen(std::move(stmt));
         } else if constexpr (std::is_same_v<T, CheckpointStatement>) {
           return RunCheckpoint(std::move(stmt));
+        } else if constexpr (std::is_same_v<T, CheckStatement>) {
+          return RunCheck(std::move(stmt));
         } else {
           return RunDelete(std::move(stmt));
         }
@@ -580,27 +599,20 @@ Result<QueryResult> Session::RunShowMetrics(ShowMetricsStatement) {
 }
 
 Result<QueryResult> Session::RunSetOption(SetOptionStatement stmt) {
-  // The option table drives both dispatch and the "available: ..." list in
-  // the unknown-option error, so the two cannot drift apart when options
-  // are added.
-  struct OptionEntry {
-    const char* name;
-    Result<QueryResult> (Session::*apply)(int64_t value);
-  };
-  static constexpr OptionEntry kOptions[] = {
-      {"PARALLELISM", &Session::SetParallelism},
-      {"SYNC", &Session::SetSync},
-      {"TRACE", &Session::SetTrace},
-  };
-  for (const OptionEntry& entry : kOptions) {
-    if (EqualsIgnoreCase(stmt.option, entry.name)) {
-      return (this->*entry.apply)(stmt.value);
-    }
+  // KnownSessionOptions() (sema.h) is the single source of the option
+  // list; it drives dispatch, the analyzer's MQL0106 suggestions, and the
+  // "available: ..." list here, so the three cannot drift apart.
+  const std::vector<std::string>& options = KnownSessionOptions();
+  for (const std::string& option : options) {
+    if (!EqualsIgnoreCase(stmt.option, option)) continue;
+    if (option == "PARALLELISM") return SetParallelism(stmt.value);
+    if (option == "SYNC") return SetSync(stmt.value);
+    return SetTrace(stmt.value);
   }
   std::string available;
-  for (const OptionEntry& entry : kOptions) {
+  for (const std::string& option : options) {
     if (!available.empty()) available += ", ";
-    available += entry.name;
+    available += option;
   }
   return Status::InvalidArgument("unknown session option '" + stmt.option +
                                  "'; available: " + available);
@@ -695,6 +707,28 @@ Result<QueryResult> Session::RunCheckpoint(CheckpointStatement) {
                    std::to_string(stats.generation) + ", " +
                    std::to_string(stats.last_checkpoint_bytes) + " byte(s)";
   result.durability = std::move(stats);
+  return result;
+}
+
+Result<QueryResult> Session::RunCheck(CheckStatement stmt) {
+  // The diagnostics travel structurally; callers that hold the source text
+  // (the shell, mql_lint) render them with carets. The message is just the
+  // verdict line.
+  QueryResult result;
+  if (stmt.inner != nullptr) {
+    result.diagnostics = AnalyzeStatement(*db_, registry_, stmt.inner->value);
+  }
+  if (result.diagnostics.empty()) {
+    result.message = "CHECK: no issues found";
+    return result;
+  }
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const Diagnostic& diag : result.diagnostics) {
+    (diag.severity() == Severity::kError ? errors : warnings) += 1;
+  }
+  result.message = "CHECK: " + std::to_string(errors) + " error(s), " +
+                   std::to_string(warnings) + " warning(s)";
   return result;
 }
 

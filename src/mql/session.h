@@ -45,6 +45,9 @@ struct QueryResult {
   /// The operator span tree recorded while executing this statement; set by
   /// EXPLAIN ANALYZE and by any statement under `SET TRACE ON`.
   std::shared_ptr<const QueryTrace> trace;
+  /// Analyzer warnings that accompanied the statement (errors never get
+  /// here: they block execution). CHECK puts its full report here.
+  std::vector<Diagnostic> diagnostics;
 };
 
 /// Execution tuning knobs.
@@ -76,11 +79,15 @@ class Session {
   explicit Session(Database* db, SessionOptions options = {})
       : db_(db), options_(options) {}
 
-  /// Parses and executes one statement.
+  /// Parses, statically analyzes, and executes one statement. Analyzer
+  /// errors block execution (the returned Status carries one line per
+  /// error); warnings ride along in QueryResult::diagnostics.
   Result<QueryResult> Execute(const std::string& text);
 
-  /// Parses and executes a ';'-separated script, stopping at the first
-  /// error.
+  /// Parses a ';'-separated script upfront, then analyzes and executes each
+  /// statement in turn, stopping at the first error. Per-statement analysis
+  /// (rather than upfront) lets later statements see the catalog effects of
+  /// earlier DDL.
   Result<std::vector<QueryResult>> ExecuteScript(const std::string& text);
 
   /// Executes an already-parsed statement.
@@ -113,6 +120,7 @@ class Session {
   Result<QueryResult> RunSetOption(SetOptionStatement stmt);
   Result<QueryResult> RunOpen(OpenStatement stmt);
   Result<QueryResult> RunCheckpoint(CheckpointStatement stmt);
+  Result<QueryResult> RunCheck(CheckStatement stmt);
 
   // SET option handlers, dispatched through kSessionOptions in session.cc;
   // the table is also the source of the "available: ..." error list.

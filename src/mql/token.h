@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "mql/diag.h"
+
 namespace mad {
 namespace mql {
 
@@ -45,6 +47,7 @@ enum class TokenKind {
   kForAll,
   kOpen,
   kCheckpoint,
+  kCheck,
   // Symbols.
   kLParen,
   kRParen,
@@ -65,14 +68,14 @@ enum class TokenKind {
 
 const char* TokenKindName(TokenKind kind);
 
-/// One lexed token with its source position (1-based column over the raw
-/// statement text; MQL statements are short, so no line tracking).
+/// One lexed token with its full source span (byte offset + length plus
+/// 1-based line/column) over the raw statement or script text.
 struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;    // identifier spelling / string value / link-ref body
   int64_t int_value = 0;
   double double_value = 0.0;
-  size_t position = 0;
+  SourceSpan span;
 };
 
 }  // namespace mql

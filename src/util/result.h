@@ -11,9 +11,10 @@ namespace mad {
 
 /// Either a value of type T or a non-OK Status, in the style of
 /// arrow::Result / absl::StatusOr. Accessing the value of a failed Result is
-/// a programming error and asserts in debug builds.
+/// a programming error and asserts in debug builds. [[nodiscard]], like
+/// Status: an ignored Result is an ignored failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value — enables `return some_value;`.
   Result(T value) : repr_(std::move(value)) {}

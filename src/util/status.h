@@ -36,8 +36,9 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// The conventions follow the common database-engine idiom (RocksDB, Arrow):
 /// functions that can fail return Status (or Result<T>); Status is cheap to
-/// move, and `MAD_RETURN_IF_ERROR` propagates failures.
-class Status {
+/// move, and `MAD_RETURN_IF_ERROR` propagates failures. [[nodiscard]] makes
+/// silently dropping a failure a compiler warning at every call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

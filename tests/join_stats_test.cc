@@ -61,7 +61,7 @@ TEST_F(JoinTest, JoinInheritsComponentLinks) {
   bool connects = false;
   for (const std::string& lname : joined->inherited_link_types) {
     const LinkType* lt = *db_.GetLinkType(lname);
-    if (lt->Touches("j2") && lt->occurrence().size() > 0) connects = true;
+    if (lt->Touches("j2") && !lt->occurrence().empty()) connects = true;
   }
   EXPECT_TRUE(connects);
 }

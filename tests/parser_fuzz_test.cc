@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <random>
 #include <string>
 
+#include "molecule/description.h"
 #include "mql/parser.h"
+#include "mql/sema.h"
 #include "mql/session.h"
 #include "workload/geo.h"
 
@@ -107,6 +110,105 @@ TEST(ParserFuzzTest, SessionSurvivesGarbageAgainstRealDatabase) {
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok->molecules->size(), 10u);
   (void)rng;
+}
+
+// Whatever the parser accepts, the analyzer must survive: fuzzed token soup
+// that happens to parse goes through AnalyzeStatement against a real
+// catalog, and the only failure mode is a crash or hang.
+TEST(ParserFuzzTest, AnalyzerSurvivesFuzzedStatements) {
+  Database db("GEO_SEMA_DB");
+  ASSERT_TRUE(workload::BuildFigure4GeoDatabase(db).ok());
+  const std::map<std::string, MoleculeDescription> registry;
+
+  // Grammar-directed soup: each slot draws from a pool that mixes valid,
+  // misspelled, ill-typed, and structurally absurd fragments, so most
+  // statements parse and the analyzer sees the whole diagnostic space.
+  const char* projections[] = {
+      "ALL", "state.name", "bogus.x", "state.name, area.aname",
+      "root.hectare", "statee.name",
+  };
+  const char* froms[] = {
+      "state",
+      "statee",
+      "m1(state-area)",
+      "m1(state-[state-area]-area)",
+      "m2(state-area-edge-point)",
+      "m3(state-[ghostlink]-area)",
+      "m4(state-point)",
+      "state-[state-area*]",
+      "state-[state-area*2]",
+      "state-[state-area*0]-area",
+      "state(state-area)",
+  };
+  const char* predicates[] = {
+      "name = 'x'",
+      "hectare + 1",
+      "name > 3",
+      "hectare > 3.5",
+      "COUNT(state) > 1",
+      "COUNT(bogus) = 0",
+      "FORALL area (aname = 'x')",
+      "FORALL area (state.name = 'x')",
+      "FORALL area (FORALL area (aname = 'x'))",
+      "ghost.attr = 1",
+      "state.name = area.aname",
+      "NOT hectare < 2",
+      "hectare + name = 2",
+      "root.name != 'y'",
+  };
+  std::mt19937_64 rng(2027);
+  size_t analyzed = 0;
+  for (int round = 0; round < 4000; ++round) {
+    std::string text = "SELECT ";
+    text += projections[rng() % std::size(projections)];
+    text += " FROM ";
+    text += froms[rng() % std::size(froms)];
+    if (rng() % 2 == 0) {
+      text += " WHERE ";
+      text += predicates[rng() % std::size(predicates)];
+      if (rng() % 3 == 0) {
+        text += rng() % 2 == 0 ? " AND " : " OR ";
+        text += predicates[rng() % std::size(predicates)];
+      }
+    }
+    text += ";";
+    auto statement = ParseStatement(text);
+    if (!statement.ok()) continue;
+    ++analyzed;
+    // Any diagnostics (or none) are fine; crashes are the failure mode.
+    auto diags = AnalyzeStatement(db, registry, *statement);
+    for (const auto& diag : diags) {
+      EXPECT_NE(diag.code(), nullptr);
+      EXPECT_FALSE(diag.message.empty()) << text;
+    }
+  }
+  // The pools are parser-shaped: the overwhelming majority must reach the
+  // analyzer for this test to mean anything.
+  EXPECT_GT(analyzed, 3000u);
+}
+
+// Truncation sweep, but through the analyzer: every prefix that parses
+// must analyze without crashing — including prefixes that cut a statement
+// at a semantically absurd point.
+TEST(ParserFuzzTest, AnalyzerSurvivesTruncatedStatements) {
+  Database db("GEO_SEMA_TRUNC_DB");
+  ASSERT_TRUE(workload::BuildFigure4GeoDatabase(db).ok());
+  const std::map<std::string, MoleculeDescription> registry;
+
+  const std::string statements[] = {
+      "SELECT ALL FROM mt_state(state-area-edge-point) "
+      "WHERE state.hectare > 1000 AND FORALL point (point.name = 'pn');",
+      "SELECT ALL FROM state-[sa*3] WHERE root.hectare + 1 > 2;",
+      "UPDATE state SET hectare = hectare + 1 WHERE COUNT(state) = 1;",
+      "INSERT INTO state VALUES ('x', 1), ('y', 2);",
+  };
+  for (const std::string& statement : statements) {
+    for (size_t len = 0; len <= statement.size(); ++len) {
+      auto prefix = ParseStatement(statement.substr(0, len) + ";");
+      if (!prefix.ok()) continue;
+      (void)AnalyzeStatement(db, registry, *prefix);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+// mql_lint: batch static checker for MQL scripts.
+//
+// Usage:  mql_lint [--json] file.mql [file2.mql ...]
+//
+// Parses each script and runs the semantic analyzer over every statement
+// in order, applying only catalog effects (CREATE ATOM/LINK TYPE,
+// molecule-type registration) to a scratch in-memory database so later
+// statements resolve the names earlier ones define. Nothing is executed:
+// no atoms are inserted, no files are written. CHECK statements lint their
+// inner statement.
+//
+// Output: rustc-style caret diagnostics (default) or a stable JSON array
+// (--json). Exit status: 0 = clean (warnings allowed), 1 = at least one
+// error-severity diagnostic (parse errors included), 2 = usage/IO failure.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/schema.h"
+#include "molecule/description.h"
+#include "mql/ast.h"
+#include "mql/diag.h"
+#include "mql/parser.h"
+#include "mql/sema.h"
+#include "mql/translator.h"
+#include "storage/database.h"
+
+namespace {
+
+using mad::Database;
+using mad::MoleculeDescription;
+using mad::mql::Diagnostic;
+
+using Registry = std::map<std::string, MoleculeDescription>;
+
+/// Applies the catalog effects of one statement to the scratch database so
+/// the rest of the script resolves against them. Failures are dropped on
+/// the floor: the analyzer has already reported anything wrong.
+void ApplyCatalogEffects(const mad::mql::Statement& statement, Database* db,
+                         Registry* registry) {
+  std::visit(
+      [&](const auto& stmt) {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, mad::mql::CreateAtomTypeStatement>) {
+          mad::Schema schema;
+          for (const auto& [name, type] : stmt.attributes) {
+            if (!schema.AddAttribute(name, type).ok()) return;
+          }
+          (void)db->DefineAtomType(stmt.name, std::move(schema));
+        } else if constexpr (std::is_same_v<T,
+                                            mad::mql::CreateLinkTypeStatement>) {
+          (void)db->DefineLinkType(stmt.name, stmt.first, stmt.second,
+                                   stmt.cardinality);
+        } else if constexpr (std::is_same_v<T, mad::mql::SelectStatement>) {
+          if (stmt.from.molecule_name.empty()) return;
+          auto translated =
+              mad::mql::TranslateStructure(*db, *stmt.from.structure);
+          if (translated.ok() && translated->description.has_value()) {
+            registry->insert_or_assign(stmt.from.molecule_name,
+                                       std::move(*translated->description));
+          }
+        }
+      },
+      statement);
+}
+
+struct FileReport {
+  std::string path;
+  std::string source;
+  std::vector<Diagnostic> diags;
+};
+
+/// Lints one file into `report`. Returns false only on an IO failure.
+bool LintFile(const std::string& path, FileReport* report) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  report->path = path;
+  report->source = buffer.str();
+
+  auto parsed = mad::mql::ParseScript(report->source);
+  if (!parsed.ok()) {
+    Diagnostic d;
+    d.id = mad::mql::DiagId::kParseError;
+    d.message = parsed.status().message();
+    report->diags.push_back(std::move(d));
+    return true;
+  }
+
+  Database db("lint");
+  Registry registry;
+  for (const mad::mql::Statement& statement : *parsed) {
+    const mad::mql::Statement* target = &statement;
+    if (const auto* check = std::get_if<mad::mql::CheckStatement>(&statement);
+        check != nullptr && check->inner != nullptr) {
+      target = &check->inner->value;
+    }
+    std::vector<Diagnostic> diags =
+        mad::mql::AnalyzeStatement(db, registry, *target);
+    for (Diagnostic& d : diags) report->diags.push_back(std::move(d));
+    ApplyCatalogEffects(*target, &db, &registry);
+  }
+  return true;
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: mql_lint [--json] file.mql [file2.mql ...]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mql_lint: unknown option " << arg << "\n";
+      PrintUsage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+
+  bool io_failure = false;
+  size_t errors = 0;
+  size_t warnings = 0;
+  std::string json_items;
+  for (const std::string& path : paths) {
+    FileReport report;
+    if (!LintFile(path, &report)) {
+      std::cerr << "mql_lint: cannot read " << path << "\n";
+      io_failure = true;
+      continue;
+    }
+    for (const Diagnostic& d : report.diags) {
+      (d.severity() == mad::mql::Severity::kError ? errors : warnings) += 1;
+    }
+    if (json) {
+      // Splice this file's array items into the combined array.
+      std::string array =
+          mad::mql::DiagnosticsToJson(report.diags, report.path);
+      std::string inner = array.substr(1, array.size() - 2);
+      while (!inner.empty() && (inner.back() == '\n' || inner.back() == ' ')) {
+        inner.pop_back();
+      }
+      if (!inner.empty()) {
+        if (!json_items.empty()) json_items += ",";
+        json_items += inner;
+      }
+    } else if (!report.diags.empty()) {
+      std::cout << mad::mql::RenderDiagnostics(report.diags, report.source,
+                                               report.path);
+    }
+  }
+
+  if (json) {
+    std::cout << "[" << json_items << (json_items.empty() ? "]" : "\n]")
+              << "\n";
+  } else {
+    std::cout << paths.size() << " file(s): " << errors << " error(s), "
+              << warnings << " warning(s)\n";
+  }
+  if (io_failure) return 2;
+  return errors > 0 ? 1 : 0;
+}
