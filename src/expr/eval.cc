@@ -3,12 +3,8 @@
 namespace mad {
 namespace expr {
 
-namespace {
-
-Result<Value> EvalCompare(const Expr& expr, const BindingSet& bindings) {
-  MAD_ASSIGN_OR_RETURN(Value lhs, EvalValue(*expr.left(), bindings));
-  MAD_ASSIGN_OR_RETURN(Value rhs, EvalValue(*expr.right(), bindings));
-
+Result<bool> ApplyCompareBool(CompareOp op, const Value& lhs,
+                              const Value& rhs) {
   // Guard against comparing unrelated types: only equal types, numeric
   // pairs, and nulls are comparable.
   auto numeric = [](DataType t) {
@@ -21,40 +17,35 @@ Result<Value> EvalCompare(const Expr& expr, const BindingSet& bindings) {
   }
 
   int cmp = lhs.Compare(rhs);
-  bool result = false;
-  switch (expr.compare_op()) {
+  switch (op) {
     case CompareOp::kEq:
-      result = cmp == 0;
-      break;
+      return cmp == 0;
     case CompareOp::kNe:
-      result = cmp != 0;
-      break;
+      return cmp != 0;
     case CompareOp::kLt:
-      result = cmp < 0;
-      break;
+      return cmp < 0;
     case CompareOp::kLe:
-      result = cmp <= 0;
-      break;
+      return cmp <= 0;
     case CompareOp::kGt:
-      result = cmp > 0;
-      break;
+      return cmp > 0;
     case CompareOp::kGe:
-      result = cmp >= 0;
-      break;
+      return cmp >= 0;
   }
+  return Status::Internal("unknown comparison operator");
+}
+
+Result<Value> ApplyCompare(CompareOp op, const Value& lhs, const Value& rhs) {
+  MAD_ASSIGN_OR_RETURN(bool result, ApplyCompareBool(op, lhs, rhs));
   return Value(result);
 }
 
-Result<Value> EvalArith(const Expr& expr, const BindingSet& bindings) {
-  MAD_ASSIGN_OR_RETURN(Value lhs, EvalValue(*expr.left(), bindings));
-  MAD_ASSIGN_OR_RETURN(Value rhs, EvalValue(*expr.right(), bindings));
-
+Result<Value> ApplyArith(ArithOp op, const Value& lhs, const Value& rhs) {
   bool both_int =
       lhs.type() == DataType::kInt64 && rhs.type() == DataType::kInt64;
   if (both_int) {
     int64_t a = lhs.AsInt64();
     int64_t b = rhs.AsInt64();
-    switch (expr.arith_op()) {
+    switch (op) {
       case ArithOp::kAdd:
         return Value(a + b);
       case ArithOp::kSub:
@@ -68,7 +59,7 @@ Result<Value> EvalArith(const Expr& expr, const BindingSet& bindings) {
   }
   MAD_ASSIGN_OR_RETURN(double a, lhs.ToNumeric());
   MAD_ASSIGN_OR_RETURN(double b, rhs.ToNumeric());
-  switch (expr.arith_op()) {
+  switch (op) {
     case ArithOp::kAdd:
       return Value(a + b);
     case ArithOp::kSub:
@@ -80,6 +71,28 @@ Result<Value> EvalArith(const Expr& expr, const BindingSet& bindings) {
       return Value(a / b);
   }
   return Status::Internal("unknown arithmetic operator");
+}
+
+Result<bool> RequireBool(const Value& v) {
+  if (v.type() != DataType::kBool) {
+    return Status::InvalidArgument("predicate evaluated to non-boolean " +
+                                   v.ToString());
+  }
+  return v.AsBool();
+}
+
+namespace {
+
+Result<Value> EvalCompare(const Expr& expr, const BindingSet& bindings) {
+  MAD_ASSIGN_OR_RETURN(Value lhs, EvalValue(*expr.left(), bindings));
+  MAD_ASSIGN_OR_RETURN(Value rhs, EvalValue(*expr.right(), bindings));
+  return ApplyCompare(expr.compare_op(), lhs, rhs);
+}
+
+Result<Value> EvalArith(const Expr& expr, const BindingSet& bindings) {
+  MAD_ASSIGN_OR_RETURN(Value lhs, EvalValue(*expr.left(), bindings));
+  MAD_ASSIGN_OR_RETURN(Value rhs, EvalValue(*expr.right(), bindings));
+  return ApplyArith(expr.arith_op(), lhs, rhs);
 }
 
 }  // namespace
@@ -154,11 +167,7 @@ Result<Value> EvalValue(const Expr& expr, const BindingSet& bindings) {
 
 Result<bool> EvalPredicate(const Expr& expr, const BindingSet& bindings) {
   MAD_ASSIGN_OR_RETURN(Value v, EvalValue(expr, bindings));
-  if (v.type() != DataType::kBool) {
-    return Status::InvalidArgument("predicate evaluated to non-boolean " +
-                                   v.ToString());
-  }
-  return v.AsBool();
+  return RequireBool(v);
 }
 
 Result<bool> EvalOnAtom(const Expr& expr, const std::string& type_name,

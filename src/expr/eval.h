@@ -41,6 +41,29 @@ class BindingSet {
   std::map<std::string, AtomBinding> bindings_;
 };
 
+/// Applies a comparison operator to two already-evaluated values, with the
+/// type-compatibility guard of qualification formulas (equal types, numeric
+/// pairs, and nulls compare; everything else is an error). Shared between
+/// the tree interpreter below and the compiled runtime (expr/compile.h) so
+/// both produce bit-identical results and error messages.
+Result<Value> ApplyCompare(CompareOp op, const Value& lhs, const Value& rhs);
+
+/// ApplyCompare without the Value box: same type guard, same error text,
+/// bool verdict. The compiled runtime's attr-vs-literal fast path calls
+/// this once per binding; ApplyCompare itself is a thin wrapper over it, so
+/// the two can never disagree.
+Result<bool> ApplyCompareBool(CompareOp op, const Value& lhs,
+                              const Value& rhs);
+
+/// Applies an arithmetic operator to two already-evaluated values (int64
+/// fast path, double otherwise, division by zero rejected). Shared with the
+/// compiled runtime.
+Result<Value> ApplyArith(ArithOp op, const Value& lhs, const Value& rhs);
+
+/// Requires `v` to be a BOOL (the predicate-position contract); shared with
+/// the compiled runtime so the error text cannot drift.
+Result<bool> RequireBool(const Value& v);
+
 /// Evaluates a value expression (literal / attribute / arithmetic /
 /// comparison / boolean connective) under `bindings`. Comparisons and
 /// connectives yield BOOL values.

@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "expr/compile.h"
 #include "util/digraph.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -31,9 +32,11 @@ Result<DerivationEngine> DerivationEngine::Create(const Database& db,
                          db.GetAtomType(md.nodes()[i].type_name));
     const std::vector<Atom>& atoms = at->occurrence().atoms();
     engine.nodes_[i].ids.reserve(atoms.size());
+    engine.nodes_[i].rows.reserve(atoms.size());
     dense[i].reserve(atoms.size());
     for (size_t k = 0; k < atoms.size(); ++k) {
       engine.nodes_[i].ids.push_back(atoms[k].id);
+      engine.nodes_[i].rows.push_back(&atoms[k]);
       dense[i].emplace(atoms[k].id, static_cast<uint32_t>(k));
     }
     const std::vector<size_t>& ins = md.InLinksOf(md.nodes()[i].label);
@@ -72,6 +75,39 @@ Result<DerivationEngine> DerivationEngine::Create(const Database& db,
     engine.edges_.push_back(std::move(edge));
   }
 
+  // Pushed-down qualification: rearrange the filters to node order and note
+  // which nodes must publish dense rows for some program's binding loops.
+  engine.filters_by_node_.assign(node_count, nullptr);
+  engine.needs_rows_.assign(node_count, false);
+  auto adopt = [&](const expr::CompiledPredicate* program) -> Status {
+    if (program->node_count() != node_count) {
+      return Status::InvalidArgument(
+          "pushed predicate program was compiled against a different "
+          "description");
+    }
+    for (size_t n : program->loop_nodes()) engine.needs_rows_[n] = true;
+    engine.filtering_ = true;
+    return Status::OK();
+  };
+  for (const auto& [node_idx, program] : options.node_filters) {
+    if (program == nullptr) continue;
+    if (node_idx >= node_count) {
+      return Status::InvalidArgument("pushed filter names node index " +
+                                     std::to_string(node_idx) +
+                                     " outside the description");
+    }
+    if (engine.filters_by_node_[node_idx] != nullptr) {
+      return Status::InvalidArgument(
+          "node '" + md.nodes()[node_idx].label +
+          "' has more than one pushed filter (conjoin them instead)");
+    }
+    MAD_RETURN_IF_ERROR(adopt(program));
+    engine.filters_by_node_[node_idx] = program;
+  }
+  if (options.residual != nullptr) {
+    MAD_RETURN_IF_ERROR(adopt(options.residual));
+  }
+
   engine.root_index_ = std::move(dense[engine.root_node_]);
   return engine;
 }
@@ -95,6 +131,13 @@ struct DerivationEngine::Workspace {
   uint64_t epoch = 0;
   size_t atoms_visited = 0;
   size_t links_scanned = 0;
+  size_t rejected = 0;
+  // Pushed-qualification state: one span per description node (published as
+  // each group completes), dense-row buffers for looped nodes, and the
+  // reusable program scratch. All empty when no filters are pushed.
+  std::vector<expr::CompiledPredicate::AtomSpan> spans;
+  std::vector<std::vector<const Atom*>> row_buf;
+  expr::CompiledPredicate::Scratch scratch;
 };
 
 DerivationEngine::Workspace DerivationEngine::MakeWorkspace() const {
@@ -107,10 +150,39 @@ DerivationEngine::Workspace DerivationEngine::MakeWorkspace() const {
     ws.nodes[i].hit_count.assign(occ, 0);
     ws.nodes[i].member_epoch.assign(occ, 0);
   }
+  if (filtering_) {
+    ws.spans.resize(nodes_.size());
+    ws.row_buf.resize(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (needs_rows_[i]) ws.row_buf[i].reserve(nodes_[i].ids.size());
+    }
+  }
   return ws;
 }
 
 // ---- Derivation of one molecule (Def. 6) ----------------------------------
+
+/// Publishes a completed group to the pushed-qualification spans and runs
+/// the node's filter, if any. Returns false to reject the molecule. Called
+/// only when filtering: the span array always reflects every group
+/// completed so far this epoch (a program for node i references only node
+/// i, and the residual runs when all groups are complete).
+Result<bool> DerivationEngine::CompleteNode(size_t node_idx,
+                                            Workspace& ws) const {
+  expr::CompiledPredicate::AtomSpan& span = ws.spans[node_idx];
+  const std::vector<uint32_t>& group = ws.nodes[node_idx].group;
+  span.size = group.size();
+  if (needs_rows_[node_idx]) {
+    std::vector<const Atom*>& buf = ws.row_buf[node_idx];
+    buf.clear();
+    const std::vector<const Atom*>& rows = nodes_[node_idx].rows;
+    for (uint32_t member : group) buf.push_back(rows[member]);
+    span.data = buf.data();
+  }
+  const expr::CompiledPredicate* filter = filters_by_node_[node_idx];
+  if (filter == nullptr) return true;
+  return filter->Eval(ws.spans.data(), ws.scratch);
+}
 
 /// Grows the maximal molecule for one root atom (the `contained`/`total`
 /// semantics of Def. 6). Nodes are processed in topological order, so every
@@ -118,16 +190,32 @@ DerivationEngine::Workspace DerivationEngine::MakeWorkspace() const {
 /// a node's group iff it has a contained parent through *every* incoming
 /// directed link type (conjunctive ∀-semantics). The loop runs entirely on
 /// dense indexes over the frozen CSR snapshot: no hashing, no lookups.
-Molecule DerivationEngine::DeriveOne(uint32_t root_dense,
-                                     Workspace& ws) const {
+///
+/// Pushed filters run as each group completes — a subtree that cannot
+/// qualify is pruned before its descendants expand — and the residual
+/// program runs before materialization. Rejections return nullopt.
+Result<std::optional<Molecule>> DerivationEngine::DeriveOne(
+    uint32_t root_dense, Workspace& ws) const {
   const uint64_t epoch = ++ws.epoch;
   const uint64_t token_base = epoch * edges_.size();
   for (Workspace::NodeScratch& ns : ws.nodes) ns.group.clear();
+  if (filtering_) {
+    for (expr::CompiledPredicate::AtomSpan& span : ws.spans) {
+      span = expr::CompiledPredicate::AtomSpan{};
+    }
+  }
 
   Workspace::NodeScratch& root_scratch = ws.nodes[root_node_];
   root_scratch.group.push_back(root_dense);
   root_scratch.member_epoch[root_dense] = epoch;
   ws.atoms_visited += 1;
+  if (filtering_) {
+    MAD_ASSIGN_OR_RETURN(bool keep, CompleteNode(root_node_, ws));
+    if (!keep) {
+      ++ws.rejected;
+      return std::optional<Molecule>();
+    }
+  }
 
   for (size_t oi = 1; oi < node_order_.size(); ++oi) {
     const size_t node_idx = node_order_[oi];
@@ -163,6 +251,22 @@ Molecule DerivationEngine::DeriveOne(uint32_t root_dense,
         ns.member_epoch[candidate] = epoch;
       }
     }
+    if (filtering_) {
+      MAD_ASSIGN_OR_RETURN(bool keep, CompleteNode(node_idx, ws));
+      if (!keep) {
+        ++ws.rejected;
+        return std::optional<Molecule>();
+      }
+    }
+  }
+
+  if (options_.residual != nullptr) {
+    MAD_ASSIGN_OR_RETURN(bool keep,
+                         options_.residual->Eval(ws.spans.data(), ws.scratch));
+    if (!keep) {
+      ++ws.rejected;
+      return std::optional<Molecule>();
+    }
   }
 
   Molecule m(nodes_[root_node_].ids[root_dense], nodes_.size());
@@ -193,7 +297,7 @@ Molecule DerivationEngine::DeriveOne(uint32_t root_dense,
       }
     }
   }
-  return m;
+  return std::optional<Molecule>(std::move(m));
 }
 
 // ---- Parallel fan-out -----------------------------------------------------
@@ -223,7 +327,15 @@ Result<std::vector<Molecule>> DerivationEngine::FanOut(
 
   // Pre-sized slots keyed by root position: whatever thread derives slot i,
   // the output order is root order — bit-for-bit identical to a serial run.
+  // A filter rejection leaves its slot empty; an evaluation error is
+  // recorded per worker and the error of the *smallest* root index wins
+  // after the join, so the reported status never depends on scheduling.
   std::vector<std::optional<Molecule>> slots(roots.size());
+  struct WorkerError {
+    size_t index;
+    Status status;
+  };
+  std::vector<std::optional<WorkerError>> worker_errors(parallelism);
   const size_t chunk =
       std::max<size_t>(1, roots.size() / (static_cast<size_t>(parallelism) * 8));
   ThreadPool::Shared().ParallelFor(
@@ -231,21 +343,40 @@ Result<std::vector<Molecule>> DerivationEngine::FanOut(
       [&](unsigned worker, size_t begin, size_t end) {
         Workspace& ws = workspaces[worker];
         for (size_t i = begin; i < end; ++i) {
-          slots[i] = DeriveOne(roots[i], ws);
+          Result<std::optional<Molecule>> derived = DeriveOne(roots[i], ws);
+          if (!derived.ok()) {
+            std::optional<WorkerError>& err = worker_errors[worker];
+            if (!err.has_value() || i < err->index) {
+              err = WorkerError{i, derived.status()};
+            }
+            continue;
+          }
+          slots[i] = std::move(derived).value();
         }
       });
+
+  const WorkerError* first_error = nullptr;
+  for (const std::optional<WorkerError>& err : worker_errors) {
+    if (err.has_value() &&
+        (first_error == nullptr || err->index < first_error->index)) {
+      first_error = &*err;
+    }
+  }
+  if (first_error != nullptr) return first_error->status;
 
   std::vector<Molecule> molecules;
   molecules.reserve(slots.size());
   for (std::optional<Molecule>& slot : slots) {
-    molecules.push_back(std::move(*slot));
+    if (slot.has_value()) molecules.push_back(std::move(*slot));
   }
 
   size_t atoms_visited = 0;
   size_t links_scanned = 0;
+  size_t rejected = 0;
   for (const Workspace& ws : workspaces) {
     atoms_visited += ws.atoms_visited;
     links_scanned += ws.links_scanned;
+    rejected += ws.rejected;
   }
   const double wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
@@ -256,6 +387,7 @@ Result<std::vector<Molecule>> DerivationEngine::FanOut(
     stats->threads_used = parallelism;
     stats->atoms_visited = atoms_visited;
     stats->links_scanned = links_scanned;
+    stats->molecules_rejected = rejected;
     stats->wall_ms = wall_ms;
   }
 
@@ -267,11 +399,14 @@ Result<std::vector<Molecule>> DerivationEngine::FanOut(
       Registry::Global().GetCounter("derivation.atoms_visited");
   static Counter& links_counter =
       Registry::Global().GetCounter("derivation.links_scanned");
+  static Counter& rejected_counter =
+      Registry::Global().GetCounter("derivation.rejected");
   static Histogram& wall_hist =
       Registry::Global().GetHistogram("derivation.fanout_us");
   roots_counter.Add(roots.size());
   atoms_counter.Add(atoms_visited);
   links_counter.Add(links_scanned);
+  rejected_counter.Add(rejected);
   wall_hist.Observe(static_cast<uint64_t>(wall_ms * 1000.0));
 
   span.set_rows_out(static_cast<int64_t>(molecules.size()));
@@ -322,7 +457,11 @@ Result<Molecule> DerivationEngine::DeriveFor(AtomId root,
                             "'");
   }
   Workspace ws = MakeWorkspace();
-  Molecule m = DeriveOne(it->second, ws);
+  MAD_ASSIGN_OR_RETURN(std::optional<Molecule> m, DeriveOne(it->second, ws));
+  if (!m.has_value()) {
+    return Status::NotFound("molecule #" + std::to_string(root.value) +
+                            " was rejected by pushed-down qualification");
+  }
   if (stats != nullptr) {
     *stats = DerivationStats{};
     stats->roots = 1;
@@ -330,7 +469,7 @@ Result<Molecule> DerivationEngine::DeriveFor(AtomId root,
     stats->atoms_visited = ws.atoms_visited;
     stats->links_scanned = ws.links_scanned;
   }
-  return m;
+  return *std::move(m);
 }
 
 // ---- Free-function façade --------------------------------------------------

@@ -2,8 +2,10 @@
 #define MAD_MOLECULE_DERIVATION_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "molecule/molecule_type.h"
@@ -13,24 +15,49 @@
 
 namespace mad {
 
+namespace expr {
+class CompiledPredicate;
+}  // namespace expr
+
 /// Tuning knobs of the derivation engine.
 struct DerivationOptions {
+  DerivationOptions() = default;
+  explicit DerivationOptions(unsigned p) : parallelism(p) {}
+
   /// Worker threads for the per-root fan-out (the calling thread counts as
   /// one). 0 means hardware_concurrency. Output is bit-for-bit identical at
   /// every setting: molecules land in pre-sized root-order slots, and the
   /// per-root derivation itself is single-threaded.
   unsigned parallelism = 0;
+  /// Pushed-down qualification: (node index, compiled program) pairs, at
+  /// most one per node. Each program must reference only its own node
+  /// (attributes or COUNT of that node — the optimizer's single-node
+  /// conjuncts); it is evaluated the moment the node's group completes
+  /// during derivation, and a false verdict (or error) rejects the whole
+  /// molecule before downstream nodes expand. Because a group depends only
+  /// on its ancestors (Def. 6 grows top-down), the verdict is identical to
+  /// evaluating the conjunct on the fully derived molecule — pushdown
+  /// changes *when* molecules are discarded, never *which*.
+  std::vector<std::pair<size_t, const expr::CompiledPredicate*>> node_filters;
+  /// Molecule-level residue of the WHERE clause (multi-node conjuncts,
+  /// disjunctions, FORALL across nodes): evaluated over the completed
+  /// groups inside the fan-out, before materialization.
+  const expr::CompiledPredicate* residual = nullptr;
+  // The compiled programs are borrowed and must outlive every derive call.
 };
 
 /// The derivation engine behind m_dom (Def. 6): a molecule description
 /// resolved against one database into a *frozen snapshot* — per description
 /// edge a CSR-style adjacency array (offsets + dense target indexes built
 /// once from the LinkStore), per node a dense-index <-> AtomId mapping.
-/// After Create() the engine no longer reads the database: the inner
-/// derivation loop does zero hashing and zero name lookups, and the engine
-/// keeps answering from the snapshot even if the database mutates (derive
-/// against the state observed at Create time; build a new engine to see
-/// newer state).
+/// The *structural* derivation loop never reads the database after
+/// Create(): it does zero hashing and zero name lookups, answering from the
+/// snapshot even if the database mutates. Pushed-down predicate programs
+/// are the one exception — their dense `const Atom*` rows point into the
+/// atom stores, so filtered derivation additionally requires that the
+/// database is not mutated between Create() and the derive call (the same
+/// contract CompiledPredicate itself carries; build a new engine after
+/// mutations, which σ and the MQL session do anyway).
 ///
 /// Derivation fans out over root atoms on a shared worker pool; each worker
 /// owns an epoch-stamped scratch workspace so no per-root allocation or
@@ -43,12 +70,14 @@ class DerivationEngine {
                                          const MoleculeDescription& md,
                                          DerivationOptions options = {});
 
-  /// One molecule per root-atom-type atom, in occurrence order.
+  /// One molecule per root-atom-type atom, in occurrence order. Molecules
+  /// rejected by pushed filters are omitted (the survivors keep occurrence
+  /// order and are bit-identical to derive-then-restrict).
   Result<std::vector<Molecule>> DeriveAll(DerivationStats* stats = nullptr) const;
 
-  /// Molecules for exactly `roots`, in the given order. Every root is
-  /// validated against the snapshot up front; invalid ids are reported
-  /// together in one NotFound status.
+  /// Molecules for exactly `roots`, in the given order (filter rejections
+  /// omitted). Every root is validated against the snapshot up front;
+  /// invalid ids are reported together in one NotFound status.
   Result<std::vector<Molecule>> DeriveForRoots(
       const std::vector<AtomId>& roots, DerivationStats* stats = nullptr) const;
 
@@ -62,6 +91,10 @@ class DerivationEngine {
   struct NodeSnapshot {
     /// Dense index -> atom id, in atom-type occurrence order.
     std::vector<AtomId> ids;
+    /// Dense index -> atom row in the store (same order as `ids`): pushed
+    /// predicate programs read attribute values by index with no per-atom
+    /// hashing. Borrowed from the store — see the mutation contract above.
+    std::vector<const Atom*> rows;
   };
   /// One directed description edge as a CSR adjacency over dense indexes:
   /// row r (an atom of `from_node`, occurrence order) spans
@@ -79,12 +112,23 @@ class DerivationEngine {
 
   DerivationEngine() = default;
 
-  Molecule DeriveOne(uint32_t root_dense, Workspace& ws) const;
+  /// Derives the molecule for one root; nullopt when a pushed filter or the
+  /// residual program rejected it, an error status when a program failed to
+  /// evaluate.
+  Result<std::optional<Molecule>> DeriveOne(uint32_t root_dense,
+                                            Workspace& ws) const;
+  Result<bool> CompleteNode(size_t node_idx, Workspace& ws) const;
   Workspace MakeWorkspace() const;
   Result<std::vector<Molecule>> FanOut(const std::vector<uint32_t>& roots,
                                        DerivationStats* stats) const;
 
   DerivationOptions options_;
+  /// Per description node: options_.node_filters rearranged to node order
+  /// (nullptr = unfiltered), plus which nodes need dense rows published for
+  /// the binding loops of any program.
+  std::vector<const expr::CompiledPredicate*> filters_by_node_;
+  std::vector<bool> needs_rows_;
+  bool filtering_ = false;
   std::vector<NodeSnapshot> nodes_;
   std::vector<EdgeSnapshot> edges_;
   std::vector<size_t> node_order_;  // node indexes in topo order, root first

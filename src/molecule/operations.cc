@@ -1,9 +1,12 @@
 #include "molecule/operations.h"
 
+#include <algorithm>
+#include <optional>
 #include <unordered_set>
 
-#include "molecule/qualification.h"
+#include "expr/compile.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace mad {
@@ -32,20 +35,75 @@ Status CheckCompatible(const MoleculeType& left, const MoleculeType& right) {
 Result<MoleculeType> RestrictMolecules(const Database& db,
                                        const MoleculeType& mt,
                                        const expr::ExprPtr& predicate,
-                                       std::string result_name) {
+                                       std::string result_name,
+                                       unsigned parallelism) {
   MAD_RETURN_IF_ERROR(CheckName(result_name));
   static Counter& ops = Registry::Global().GetCounter("molecule_ops.sigma");
   ops.Increment();
   ScopedSpan span("sigma",
                   predicate == nullptr ? "<null>" : predicate->ToString());
   span.set_rows_in(static_cast<int64_t>(mt.size()));
-  MAD_ASSIGN_OR_RETURN(MoleculeQualifier qualifier,
-                       MoleculeQualifier::Create(db, mt.description(),
-                                                 predicate));
+  MAD_ASSIGN_OR_RETURN(
+      expr::CompiledPredicate program,
+      expr::CompiledPredicate::Compile(db, mt.description(), predicate));
+
+  const std::vector<Molecule>& molecules = mt.molecules();
+  const size_t n = molecules.size();
+  std::vector<char> verdicts(n, 0);
+  if (parallelism == 0) parallelism = ThreadPool::DefaultParallelism();
+
+  if (parallelism > 1 && n > 1) {
+    // The serial loop stops at the first failing molecule; the parallel one
+    // must report that same molecule's error regardless of scheduling. The
+    // chunk cursor is monotone, so each worker sees ascending indexes: its
+    // first error is its smallest, and the global minimum over workers is
+    // the serial answer.
+    struct WorkerError {
+      size_t index;
+      Status status;
+    };
+    std::vector<std::optional<WorkerError>> errors(parallelism);
+    std::vector<expr::CompiledPredicate::Scratch> scratch(parallelism);
+    const size_t chunk =
+        std::max<size_t>(1, n / (static_cast<size_t>(parallelism) * 8));
+    ThreadPool::Shared().ParallelFor(
+        n, chunk, parallelism,
+        [&](unsigned worker, size_t begin, size_t end) {
+          if (errors[worker].has_value()) return;
+          for (size_t i = begin; i < end; ++i) {
+            Result<bool> hit =
+                program.EvalMolecule(molecules[i], scratch[worker]);
+            if (!hit.ok()) {
+              errors[worker] = WorkerError{i, hit.status()};
+              return;
+            }
+            verdicts[i] = *hit ? 1 : 0;
+          }
+        });
+    std::optional<WorkerError> first;
+    for (std::optional<WorkerError>& err : errors) {
+      if (err.has_value() && (!first.has_value() || err->index < first->index)) {
+        first = std::move(err);
+      }
+    }
+    if (first.has_value()) return first->status;
+  } else {
+    expr::CompiledPredicate::Scratch scratch;
+    for (size_t i = 0; i < n; ++i) {
+      MAD_ASSIGN_OR_RETURN(bool hit,
+                           program.EvalMolecule(molecules[i], scratch));
+      verdicts[i] = hit ? 1 : 0;
+    }
+  }
+
+  // Copy survivors once, into exactly-sized storage: no reallocation moves,
+  // no speculative copies of rejected molecules.
+  const size_t kept_count = static_cast<size_t>(
+      std::count(verdicts.begin(), verdicts.end(), char{1}));
   std::vector<Molecule> kept;
-  for (const Molecule& m : mt.molecules()) {
-    MAD_ASSIGN_OR_RETURN(bool hit, qualifier.Matches(m));
-    if (hit) kept.push_back(m);
+  kept.reserve(kept_count);
+  for (size_t i = 0; i < n; ++i) {
+    if (verdicts[i]) kept.push_back(molecules[i]);
   }
   span.set_rows_out(static_cast<int64_t>(kept.size()));
   return MoleculeType(std::move(result_name), mt.description(),
@@ -166,13 +224,21 @@ Result<MoleculeType> UnionMolecules(const MoleculeType& left,
   ScopedSpan span("omega");
   span.set_rows_in(static_cast<int64_t>(left.size() + right.size()));
 
-  std::vector<Molecule> merged = left.molecules();
+  // Decide the right-side survivors first, then copy everything exactly
+  // once into exactly-sized storage.
   std::unordered_set<std::string> seen;
-  seen.reserve(merged.size());
-  for (const Molecule& m : merged) seen.insert(m.CanonicalKey());
+  seen.reserve(left.size() + right.size());
+  for (const Molecule& m : left.molecules()) seen.insert(m.CanonicalKey());
+  std::vector<const Molecule*> fresh;
+  fresh.reserve(right.size());
   for (const Molecule& m : right.molecules()) {
-    if (seen.insert(m.CanonicalKey()).second) merged.push_back(m);
+    if (seen.insert(m.CanonicalKey()).second) fresh.push_back(&m);
   }
+  std::vector<Molecule> merged;
+  merged.reserve(left.size() + fresh.size());
+  merged.insert(merged.end(), left.molecules().begin(),
+                left.molecules().end());
+  for (const Molecule* m : fresh) merged.push_back(*m);
   span.set_rows_out(static_cast<int64_t>(merged.size()));
   return MoleculeType(std::move(result_name), left.description(),
                       std::move(merged));
@@ -192,10 +258,15 @@ Result<MoleculeType> DifferenceMolecules(const MoleculeType& left,
   drop.reserve(right.molecules().size());
   for (const Molecule& m : right.molecules()) drop.insert(m.CanonicalKey());
 
-  std::vector<Molecule> kept;
+  // Keep by index, then copy survivors once into exactly-sized storage.
+  std::vector<const Molecule*> survivors;
+  survivors.reserve(left.size());
   for (const Molecule& m : left.molecules()) {
-    if (drop.count(m.CanonicalKey()) == 0) kept.push_back(m);
+    if (drop.count(m.CanonicalKey()) == 0) survivors.push_back(&m);
   }
+  std::vector<Molecule> kept;
+  kept.reserve(survivors.size());
+  for (const Molecule* m : survivors) kept.push_back(*m);
   span.set_rows_out(static_cast<int64_t>(kept.size()));
   return MoleculeType(std::move(result_name), left.description(),
                       std::move(kept));

@@ -128,16 +128,6 @@ Result<ExprPtr> ResolveRefs(const Database& db, const MoleculeDescription& md,
   return Status::Internal("unknown expression kind");
 }
 
-void CollectLabels(const Expr& expr, std::vector<std::string>* out) {
-  std::vector<const Expr*> refs;
-  expr.CollectAttrRefs(&refs);
-  for (const Expr* ref : refs) {
-    if (std::find(out->begin(), out->end(), ref->qualifier()) == out->end()) {
-      out->push_back(ref->qualifier());
-    }
-  }
-}
-
 bool ContainsCount(const Expr& expr) {
   if (expr.kind() == Expr::Kind::kCount) return true;
   if (expr.left() != nullptr && ContainsCount(*expr.left())) return true;
@@ -152,9 +142,19 @@ bool ContainsForAll(const Expr& expr) {
 
 }  // namespace
 
-Result<MoleculeQualifier> MoleculeQualifier::Create(
-    const Database& db, const MoleculeDescription& md,
-    expr::ExprPtr predicate) {
+void CollectQualifierLabels(const Expr& expr, std::vector<std::string>* out) {
+  std::vector<const Expr*> refs;
+  expr.CollectAttrRefs(&refs);
+  for (const Expr* ref : refs) {
+    if (std::find(out->begin(), out->end(), ref->qualifier()) == out->end()) {
+      out->push_back(ref->qualifier());
+    }
+  }
+}
+
+Result<expr::ExprPtr> ResolveQualification(const Database& db,
+                                           const MoleculeDescription& md,
+                                           const expr::ExprPtr& predicate) {
   if (predicate == nullptr) {
     return Status::InvalidArgument("qualification predicate must be non-null");
   }
@@ -162,10 +162,16 @@ Result<MoleculeQualifier> MoleculeQualifier::Create(
     return Status::InvalidArgument("expression " + predicate->ToString() +
                                    " is not a predicate");
   }
+  return ResolveRefs(db, md, predicate);
+}
+
+Result<MoleculeQualifier> MoleculeQualifier::Create(
+    const Database& db, const MoleculeDescription& md,
+    expr::ExprPtr predicate) {
   MoleculeQualifier q;
   q.db_ = &db;
   q.md_ = &md;
-  MAD_ASSIGN_OR_RETURN(q.resolved_, ResolveRefs(db, md, predicate));
+  MAD_ASSIGN_OR_RETURN(q.resolved_, ResolveQualification(db, md, predicate));
   for (size_t i = 0; i < md.nodes().size(); ++i) {
     MAD_ASSIGN_OR_RETURN(const AtomType* at,
                          db.GetAtomType(md.nodes()[i].type_name));
@@ -176,6 +182,22 @@ Result<MoleculeQualifier> MoleculeQualifier::Create(
 
 Result<bool> MoleculeQualifier::Matches(const Molecule& molecule) const {
   return EvalBoolean(*resolved_, molecule);
+}
+
+Result<bool> MoleculeQualifier::EvalResolved(const expr::Expr& expr,
+                                             const Molecule& molecule) const {
+  return EvalBoolean(expr, molecule);
+}
+
+Result<const std::pair<size_t, const Schema*>*> MoleculeQualifier::FindLabel(
+    const std::string& label) const {
+  auto it = label_info_.find(label);
+  if (it == label_info_.end()) {
+    return Status::InvalidArgument("unresolved qualifier '" + label +
+                                   "' in qualification formula (not a node "
+                                   "label of the description)");
+  }
+  return &it->second;
 }
 
 Result<bool> MoleculeQualifier::EvalBoolean(const expr::Expr& expr,
@@ -206,9 +228,9 @@ Result<expr::ExprPtr> MoleculeQualifier::SubstituteCounts(
     const expr::Expr& node, const Molecule& molecule) const {
   switch (node.kind()) {
     case Expr::Kind::kCount: {
-      size_t node_idx = label_info_.at(node.qualifier()).first;
+      MAD_ASSIGN_OR_RETURN(const auto* info, FindLabel(node.qualifier()));
       return expr::Lit(
-          static_cast<int64_t>(molecule.AtomsOf(node_idx).size()));
+          static_cast<int64_t>(molecule.AtomsOf(info->first).size()));
     }
     case Expr::Kind::kLiteral:
       return Expr::MakeLiteral(node.literal());
@@ -259,7 +281,8 @@ Result<expr::ExprPtr> MoleculeQualifier::SubstituteCounts(
 
 Result<bool> MoleculeQualifier::EvalForAll(const expr::Expr& expr,
                                            const Molecule& molecule) const {
-  const auto& [node_idx, schema] = label_info_.at(expr.qualifier());
+  MAD_ASSIGN_OR_RETURN(const auto* info, FindLabel(expr.qualifier()));
+  const auto& [node_idx, schema] = *info;
   MAD_ASSIGN_OR_RETURN(expr::ExprPtr inner,
                        SubstituteCounts(*expr.left(), molecule));
   const std::string& type_name = md_->nodes()[node_idx].type_name;
@@ -287,7 +310,7 @@ Result<bool> MoleculeQualifier::EvalExistential(const expr::Expr& expr,
   }
 
   std::vector<std::string> labels;
-  CollectLabels(expr, &labels);
+  CollectQualifierLabels(expr, &labels);
 
   if (labels.empty()) {
     expr::BindingSet empty;
@@ -301,7 +324,8 @@ Result<bool> MoleculeQualifier::EvalExistential(const expr::Expr& expr,
   // Recursive lambda over the label list.
   auto search = [&](auto&& self, size_t depth) -> Result<bool> {
     if (depth == labels.size()) return expr::EvalPredicate(expr, bindings);
-    const auto& [node_idx, schema] = label_info_.at(labels[depth]);
+    MAD_ASSIGN_OR_RETURN(const auto* info, FindLabel(labels[depth]));
+    const auto& [node_idx, schema] = *info;
     const std::string& type_name = md_->nodes()[node_idx].type_name;
     MAD_ASSIGN_OR_RETURN(const AtomType* at, db_->GetAtomType(type_name));
     for (AtomId id : molecule.AtomsOf(node_idx)) {

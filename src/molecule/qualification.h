@@ -34,12 +34,26 @@ class MoleculeQualifier {
   /// True iff the molecule satisfies the predicate.
   Result<bool> Matches(const Molecule& molecule) const;
 
+  /// Evaluates an *already resolved* predicate (label-qualified attribute
+  /// references, COUNT/FORALL qualifiers that are node labels) over one
+  /// molecule with the qualifier's molecule-scope semantics. This is the
+  /// seam the differential tests drive directly: unlike Matches(), the
+  /// expression need not be the one validated by Create(), so unresolved
+  /// qualifiers must surface as Status errors, never as exceptions.
+  Result<bool> EvalResolved(const expr::Expr& expr,
+                            const Molecule& molecule) const;
+
   /// The predicate with every attribute reference rewritten to
   /// label-qualified form.
   const expr::ExprPtr& resolved_predicate() const { return resolved_; }
 
  private:
   MoleculeQualifier() = default;
+
+  /// Checked label_info_ lookup: a qualifier that is not a node label of
+  /// the description yields InvalidArgument instead of std::out_of_range.
+  Result<const std::pair<size_t, const Schema*>*> FindLabel(
+      const std::string& label) const;
 
   Result<bool> EvalBoolean(const expr::Expr& expr,
                            const Molecule& molecule) const;
@@ -58,6 +72,23 @@ class MoleculeQualifier {
   /// label -> (node index, schema of the node's atom type).
   std::map<std::string, std::pair<size_t, const Schema*>> label_info_;
 };
+
+/// Rewrites every attribute reference of `predicate` to label-qualified
+/// form against `md`, validating attribute existence, projection narrowing,
+/// COUNT/FORALL qualifiers, and the FORALL scoping rules along the way —
+/// the resolution step of MoleculeQualifier::Create, exposed for the
+/// predicate compiler (expr/compile.h) so interpreted and compiled
+/// evaluation agree on exactly which predicates are accepted.
+Result<expr::ExprPtr> ResolveQualification(const Database& db,
+                                           const MoleculeDescription& md,
+                                           const expr::ExprPtr& predicate);
+
+/// Collects the distinct qualifiers of `expr`'s attribute references in
+/// first-reference (pre-order) order — the binding-loop order of existential
+/// evaluation. Shared with the predicate compiler (expr/compile.h) so
+/// interpreted and compiled evaluation enumerate witnesses identically.
+void CollectQualifierLabels(const expr::Expr& expr,
+                            std::vector<std::string>* out);
 
 }  // namespace mad
 

@@ -57,7 +57,8 @@ std::string FormatMoleculeTypeStats(const MoleculeTypeStats& stats);
 /// because the per-root work is identical and the per-worker counters are
 /// summed after the join.
 struct DerivationStats {
-  /// Root atoms fanned out over (== molecules derived).
+  /// Root atoms fanned out over (== molecules derived plus molecules
+  /// rejected by pushed-down qualification).
   size_t roots = 0;
   /// Candidate atoms examined across all molecules (first discoveries per
   /// node, root slots included).
@@ -65,6 +66,10 @@ struct DerivationStats {
   /// Adjacency entries scanned in the frozen CSR snapshot, over both the
   /// candidate-collection and the link-recording passes.
   size_t links_scanned = 0;
+  /// Molecules discarded inside the fan-out by pushed-down qualification
+  /// (per-node filters or the residual program) before materialization.
+  /// Always 0 when no filters were pushed.
+  size_t molecules_rejected = 0;
   /// Worker threads the fan-out was allowed to use (caller included).
   unsigned threads_used = 1;
   /// End-to-end wall time of the derivation fan-out, snapshot build

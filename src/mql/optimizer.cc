@@ -1,7 +1,8 @@
 #include "mql/optimizer.h"
 
 #include <algorithm>
-#include <vector>
+#include <map>
+#include <set>
 
 namespace mad {
 namespace mql {
@@ -41,6 +42,37 @@ Result<size_t> ResolveRef(const Database& db, const MoleculeDescription& md,
   return hit;
 }
 
+/// Attribute references bind nodes; COUNT(x) and FORALL x(...) bind their
+/// quantified node even without attribute references underneath.
+Status CollectNodeRefs(const Database& db, const MoleculeDescription& md,
+                       const expr::Expr& node, std::set<size_t>* out) {
+  switch (node.kind()) {
+    case expr::Expr::Kind::kAttrRef: {
+      MAD_ASSIGN_OR_RETURN(size_t idx, ResolveRef(db, md, node));
+      out->insert(idx);
+      return Status::OK();
+    }
+    case expr::Expr::Kind::kCount: {
+      MAD_ASSIGN_OR_RETURN(size_t idx, md.ResolveQualifier(node.qualifier()));
+      out->insert(idx);
+      return Status::OK();
+    }
+    case expr::Expr::Kind::kForAll: {
+      MAD_ASSIGN_OR_RETURN(size_t idx, md.ResolveQualifier(node.qualifier()));
+      out->insert(idx);
+      return CollectNodeRefs(db, md, *node.left(), out);
+    }
+    default:
+      if (node.left() != nullptr) {
+        MAD_RETURN_IF_ERROR(CollectNodeRefs(db, md, *node.left(), out));
+      }
+      if (node.right() != nullptr) {
+        MAD_RETURN_IF_ERROR(CollectNodeRefs(db, md, *node.right(), out));
+      }
+      return Status::OK();
+  }
+}
+
 void CollectConjuncts(const expr::ExprPtr& node,
                       std::vector<expr::ExprPtr>* out) {
   if (node->kind() == expr::Expr::Kind::kAnd) {
@@ -60,39 +92,84 @@ expr::ExprPtr AndAll(const std::vector<expr::ExprPtr>& conjuncts) {
   return result;
 }
 
-}  // namespace
-
-Result<bool> IsRootOnly(const Database& db, const MoleculeDescription& md,
-                        const expr::Expr& node) {
-  MAD_ASSIGN_OR_RETURN(size_t root_idx, md.NodeIndex(md.root_label()));
-  std::vector<const expr::Expr*> refs;
-  node.CollectAttrRefs(&refs);
-  if (refs.empty()) return false;  // constant conjuncts stay residual
-  for (const expr::Expr* ref : refs) {
-    MAD_ASSIGN_OR_RETURN(size_t idx, ResolveRef(db, md, *ref));
-    if (idx != root_idx) return false;
+/// Matches `attr = literal` / `literal = attr` with `attr` on the root
+/// node and an AttributeIndex on the root atom type.
+std::optional<IndexSeed> MatchIndexSeed(const Database& db,
+                                        const MoleculeDescription& md,
+                                        size_t root_idx,
+                                        const expr::Expr& conjunct) {
+  if (conjunct.kind() != expr::Expr::Kind::kCompare ||
+      conjunct.compare_op() != expr::CompareOp::kEq) {
+    return std::nullopt;
   }
-  return true;
+  const expr::Expr* attr = conjunct.left().get();
+  const expr::Expr* lit = conjunct.right().get();
+  if (attr->kind() != expr::Expr::Kind::kAttrRef) std::swap(attr, lit);
+  if (attr->kind() != expr::Expr::Kind::kAttrRef ||
+      lit->kind() != expr::Expr::Kind::kLiteral) {
+    return std::nullopt;
+  }
+  // The conjunct was already classified to the root node, so the reference
+  // is known to bind there; only the index lookup can still fail.
+  (void)root_idx;
+  const AttributeIndex* index =
+      db.FindIndex(md.root_node().type_name, attr->attribute());
+  if (index == nullptr) return std::nullopt;
+  IndexSeed seed;
+  seed.index = index;
+  seed.attribute = attr->attribute();
+  seed.value = lit->literal();
+  return seed;
 }
 
-Result<SplitPredicate> SplitRootConjuncts(const Database& db,
-                                          const MoleculeDescription& md,
-                                          const expr::ExprPtr& predicate) {
-  SplitPredicate split;
-  if (predicate == nullptr) return split;
+}  // namespace
+
+Result<std::vector<size_t>> ReferencedNodes(const Database& db,
+                                            const MoleculeDescription& md,
+                                            const expr::Expr& node) {
+  std::set<size_t> refs;
+  MAD_RETURN_IF_ERROR(CollectNodeRefs(db, md, node, &refs));
+  return std::vector<size_t>(refs.begin(), refs.end());
+}
+
+Result<PushdownPlan> PlanPredicatePushdown(const Database& db,
+                                           const MoleculeDescription& md,
+                                           const expr::ExprPtr& predicate) {
+  PushdownPlan plan;
+  if (predicate == nullptr) return plan;
+
+  MAD_ASSIGN_OR_RETURN(size_t root_idx, md.NodeIndex(md.root_label()));
 
   std::vector<expr::ExprPtr> conjuncts;
   CollectConjuncts(predicate, &conjuncts);
 
-  std::vector<expr::ExprPtr> root_side;
+  // Group single-node conjuncts per node (original order within a node),
+  // keep everything else residual.
+  std::map<size_t, std::vector<expr::ExprPtr>> per_node;
   std::vector<expr::ExprPtr> residual_side;
   for (const expr::ExprPtr& conjunct : conjuncts) {
-    MAD_ASSIGN_OR_RETURN(bool root_only, IsRootOnly(db, md, *conjunct));
-    (root_only ? root_side : residual_side).push_back(conjunct);
+    MAD_ASSIGN_OR_RETURN(std::vector<size_t> nodes,
+                         ReferencedNodes(db, md, *conjunct));
+    if (nodes.size() == 1) {
+      const size_t node_idx = nodes[0];
+      per_node[node_idx].push_back(conjunct);
+      if (node_idx == root_idx && !plan.seed.has_value()) {
+        plan.seed = MatchIndexSeed(db, md, root_idx, *conjunct);
+      }
+    } else {
+      // Constants (no references) and multi-node conjuncts.
+      residual_side.push_back(conjunct);
+    }
   }
-  split.root_only = AndAll(root_side);
-  split.residual = AndAll(residual_side);
-  return split;
+
+  for (const auto& [node_idx, node_conjuncts] : per_node) {
+    NodeFilter filter;
+    filter.node_index = node_idx;
+    filter.predicate = AndAll(node_conjuncts);
+    plan.node_filters.push_back(std::move(filter));
+  }
+  plan.residual = AndAll(residual_side);
+  return plan;
 }
 
 }  // namespace mql

@@ -1,36 +1,74 @@
 #ifndef MAD_MQL_OPTIMIZER_H_
 #define MAD_MQL_OPTIMIZER_H_
 
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
 #include "expr/expr.h"
 #include "molecule/description.h"
 #include "storage/database.h"
+#include "storage/index.h"
 #include "util/result.h"
 
 namespace mad {
 namespace mql {
 
-/// A WHERE predicate split into the part decidable on the root atom alone
-/// and the residual part needing the full molecule. Either side may be
-/// null.
-struct SplitPredicate {
-  expr::ExprPtr root_only;
-  expr::ExprPtr residual;
+/// The WHERE conjuncts decidable on one description node alone, AND-joined
+/// in their original order. The derivation engine evaluates the predicate
+/// the moment the node's group completes, rejecting the molecule before
+/// downstream nodes expand.
+struct NodeFilter {
+  size_t node_index = 0;
+  expr::ExprPtr predicate;
 };
 
-/// Splits the top-level conjunction of `predicate`: a conjunct whose
-/// attribute references all resolve to the description's root node can be
-/// evaluated *before* deriving the molecule — the restriction-pushdown
-/// rewrite the paper's outlook anticipates ("exploit the algebra to ...
-/// enhance query transformation and query optimization"). Anything else
-/// (disjunctions over mixed nodes, non-root references) stays residual.
-Result<SplitPredicate> SplitRootConjuncts(const Database& db,
-                                          const MoleculeDescription& md,
-                                          const expr::ExprPtr& predicate);
+/// A root equality conjunct `root.attr = literal` matched against an
+/// existing AttributeIndex: derivation seeds its root set from the index
+/// bucket instead of scanning the whole occurrence. The root's node filter
+/// still verifies the conjunct, so the seed only narrows the fan-out.
+struct IndexSeed {
+  const AttributeIndex* index = nullptr;
+  std::string attribute;
+  Value value;
+};
 
-/// True iff every attribute reference in `node` binds to the root node of
-/// `md` (explicitly or as an unambiguous unqualified reference).
-Result<bool> IsRootOnly(const Database& db, const MoleculeDescription& md,
-                        const expr::Expr& node);
+/// A WHERE predicate split for qualification pushdown (the restriction
+/// rewrite the paper's outlook anticipates: "exploit the algebra to ...
+/// enhance query transformation and query optimization").
+struct PushdownPlan {
+  /// Single-node conjuncts, grouped per node, ascending node index. The
+  /// root node's filter (if any) is an ordinary entry.
+  std::vector<NodeFilter> node_filters;
+  /// Conjuncts needing more than one node (plus constants), AND-joined in
+  /// original order; null when everything was pushed.
+  expr::ExprPtr residual;
+  /// Root-index seed, when a usable equality conjunct exists.
+  std::optional<IndexSeed> seed;
+
+  bool HasPushdown() const {
+    return !node_filters.empty() || seed.has_value();
+  }
+};
+
+/// Splits the top-level conjunction of `predicate` per description node: a
+/// conjunct whose references (attributes, COUNT and FORALL quantifiers) all
+/// bind to one node becomes that node's filter; everything else — mixed
+/// conjuncts, disjunctions over several nodes, constants — stays residual.
+/// A null predicate yields an empty plan.
+Result<PushdownPlan> PlanPredicatePushdown(const Database& db,
+                                           const MoleculeDescription& md,
+                                           const expr::ExprPtr& predicate);
+
+/// Description node indices referenced by `node` — attribute references
+/// plus COUNT/FORALL quantifiers — sorted and unique. Resolution mirrors
+/// the qualification rules (label first, unique type name, unique
+/// unqualified attribute), so a predicate the qualifier accepts always
+/// classifies.
+Result<std::vector<size_t>> ReferencedNodes(const Database& db,
+                                            const MoleculeDescription& md,
+                                            const expr::Expr& node);
 
 }  // namespace mql
 }  // namespace mad

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 
+#include "expr/compile.h"
 #include "expr/eval.h"
 #include "molecule/derivation.h"
 #include "molecule/operations.h"
-#include "molecule/qualification.h"
 #include "mql/optimizer.h"
 #include "mql/parser.h"
 #include "mql/sema.h"
@@ -298,42 +298,87 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
     return result;
   }
 
-  // Ch. 4 translation: a (definition) ∘ Σ (WHERE) ∘ Π (SELECT), with
-  // root-only WHERE conjuncts optionally pushed below the derivation.
+  // Ch. 4 translation: a (definition) ∘ Σ (WHERE) ∘ Π (SELECT). With
+  // pushdown enabled the Σ is fused into the derivation: the WHERE clause
+  // is split per description node, each group compiled into a flat
+  // predicate program the engine evaluates the moment that node's group
+  // completes, the multi-node residue compiled into a program evaluated
+  // inside the parallel fan-out, and an indexed root equality seeds the
+  // root set from its AttributeIndex bucket.
   expr::ExprPtr residual_where = stmt.where;
   DerivationOptions dopts{options_.parallelism};
   DerivationStats dstats;
   std::optional<MoleculeType> derived;
   if (options_.enable_root_pushdown && stmt.where != nullptr) {
-    MAD_ASSIGN_OR_RETURN(SplitPredicate split,
-                         SplitRootConjuncts(*db_, *md, stmt.where));
-    if (split.root_only != nullptr) {
-      residual_where = split.residual;
+    MAD_ASSIGN_OR_RETURN(PushdownPlan plan,
+                         PlanPredicatePushdown(*db_, *md, stmt.where));
+    // The programs live on this frame; the engine borrows them only for
+    // the derive call below.
+    std::vector<expr::CompiledPredicate> programs;
+    programs.reserve(plan.node_filters.size() + 1);
+    for (const NodeFilter& filter : plan.node_filters) {
       MAD_ASSIGN_OR_RETURN(
-          MoleculeQualifier root_qualifier,
-          MoleculeQualifier::Create(*db_, *md, split.root_only));
-      MAD_ASSIGN_OR_RETURN(size_t root_idx, md->NodeIndex(md->root_label()));
+          expr::CompiledPredicate program,
+          expr::CompiledPredicate::Compile(*db_, *md, filter.predicate));
+      programs.push_back(std::move(program));
+    }
+    for (size_t i = 0; i < plan.node_filters.size(); ++i) {
+      dopts.node_filters.emplace_back(plan.node_filters[i].node_index,
+                                      &programs[i]);
+    }
+    if (plan.residual != nullptr) {
+      MAD_ASSIGN_OR_RETURN(
+          expr::CompiledPredicate residual_program,
+          expr::CompiledPredicate::Compile(*db_, *md, plan.residual));
+      programs.push_back(std::move(residual_program));
+      dopts.residual = &programs.back();
+    }
+    residual_where = nullptr;  // the engine consumes the whole WHERE
+
+    // Root seeding: take the index bucket instead of scanning the whole
+    // occurrence. Bucket order is index insertion order, which diverges
+    // from occurrence order after updates, so restore occurrence order —
+    // seeded derivation stays bit-identical to the unseeded scan.
+    std::optional<std::vector<AtomId>> seeded;
+    if (plan.seed.has_value()) {
       MAD_ASSIGN_OR_RETURN(const AtomType* root_at,
                            db_->GetAtomType(md->root_node().type_name));
-      std::vector<AtomId> qualifying;
-      {
-        ScopedSpan pushdown_span("root-pushdown",
-                                 split.root_only->ToString());
-        pushdown_span.set_rows_in(
-            static_cast<int64_t>(root_at->occurrence().size()));
-        for (const Atom& atom : root_at->occurrence().atoms()) {
-          // A skeleton molecule holding only the candidate root is enough
-          // to evaluate a root-only predicate.
-          Molecule skeleton(atom.id, md->nodes().size());
-          skeleton.MutableAtomsOf(root_idx).push_back(atom.id);
-          MAD_ASSIGN_OR_RETURN(bool hit, root_qualifier.Matches(skeleton));
-          if (hit) qualifying.push_back(atom.id);
-        }
-        pushdown_span.set_rows_out(static_cast<int64_t>(qualifying.size()));
+      ScopedSpan seed_span("index-seed",
+                           md->root_node().type_name + "." +
+                               plan.seed->attribute + " = " +
+                               plan.seed->value.ToString());
+      seed_span.set_rows_in(
+          static_cast<int64_t>(root_at->occurrence().size()));
+      const std::vector<AtomId>& bucket =
+          plan.seed->index->Lookup(plan.seed->value);
+      std::vector<std::pair<size_t, AtomId>> ordered;
+      ordered.reserve(bucket.size());
+      for (AtomId id : bucket) {
+        std::optional<size_t> pos = root_at->occurrence().PositionOf(id);
+        if (pos.has_value()) ordered.emplace_back(*pos, id);
       }
-      MAD_ASSIGN_OR_RETURN(
-          std::vector<Molecule> molecules,
-          DeriveMoleculesForRoots(*db_, *md, qualifying, dopts, &dstats));
+      std::sort(ordered.begin(), ordered.end());
+      seeded.emplace();
+      seeded->reserve(ordered.size());
+      for (const auto& [pos, id] : ordered) seeded->push_back(id);
+      seed_span.set_rows_out(static_cast<int64_t>(seeded->size()));
+    }
+
+    {
+      // The fused Σ: rows_in counts the roots fanned out over, rows_out
+      // the molecules surviving the pushed programs.
+      ScopedSpan sigma_span("sigma", stmt.where->ToString());
+      std::vector<Molecule> molecules;
+      if (seeded.has_value()) {
+        MAD_ASSIGN_OR_RETURN(
+            molecules,
+            DeriveMoleculesForRoots(*db_, *md, *seeded, dopts, &dstats));
+      } else {
+        MAD_ASSIGN_OR_RETURN(molecules,
+                             DeriveMolecules(*db_, *md, dopts, &dstats));
+      }
+      sigma_span.set_rows_in(static_cast<int64_t>(dstats.roots));
+      sigma_span.set_rows_out(static_cast<int64_t>(molecules.size()));
       derived.emplace(name, *md, std::move(molecules));
     }
   }
@@ -345,8 +390,9 @@ Result<QueryResult> Session::RunSelect(SelectStatement stmt) {
   result.derivation = dstats;
   MoleculeType mt = *std::move(derived);
   if (residual_where != nullptr) {
-    MAD_ASSIGN_OR_RETURN(mt,
-                         RestrictMolecules(*db_, mt, residual_where, name));
+    MAD_ASSIGN_OR_RETURN(
+        mt, RestrictMolecules(*db_, mt, residual_where, name,
+                              options_.parallelism));
   }
   if (!stmt.select_all) {
     MAD_ASSIGN_OR_RETURN(MoleculeProjectionSpec spec,
@@ -543,6 +589,35 @@ Result<QueryResult> Session::RunExplain(ExplainStatement stmt) {
   if (select.where != nullptr) {
     plan += "Sigma[" + select.where->ToString() +
             "]   -- molecule-type restriction (Def. 10)\n";
+    if (options_.enable_root_pushdown && md.has_value() && !rd.has_value()) {
+      // How the Σ will actually run: per-node compiled filters inside the
+      // derivation, an index-seeded root set, and the compiled residual.
+      Result<PushdownPlan> pushed =
+          PlanPredicatePushdown(*db_, *md, select.where);
+      if (pushed.ok()) {
+        for (const NodeFilter& filter : pushed->node_filters) {
+          plan += "  push-down[" + md->nodes()[filter.node_index].label +
+                  "]: " + filter.predicate->ToString();
+          Result<expr::CompiledPredicate> program =
+              expr::CompiledPredicate::Compile(*db_, *md, filter.predicate);
+          if (program.ok()) plan += "   -- compiled: " + program->Summary();
+          plan += "\n";
+        }
+        if (pushed->seed.has_value()) {
+          plan += "  seed-index[" + md->root_node().type_name + "." +
+                  pushed->seed->attribute + " = " +
+                  pushed->seed->value.ToString() +
+                  "]   -- root fan-out from AttributeIndex\n";
+        }
+        if (pushed->residual != nullptr) {
+          plan += "  residual: " + pushed->residual->ToString();
+          Result<expr::CompiledPredicate> program =
+              expr::CompiledPredicate::Compile(*db_, *md, pushed->residual);
+          if (program.ok()) plan += "   -- compiled: " + program->Summary();
+          plan += "\n";
+        }
+      }
+    }
   }
   if (!select.select_all) {
     if (rd.has_value()) {

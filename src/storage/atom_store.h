@@ -1,6 +1,7 @@
 #ifndef MAD_STORAGE_ATOM_STORE_H_
 #define MAD_STORAGE_ATOM_STORE_H_
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +27,15 @@ class AtomStore {
 
   /// Pointer into the store, or nullptr if absent. Invalidated by mutation.
   const Atom* Find(AtomId id) const;
+
+  /// Insertion-order position of `id`, or nullopt if absent. Lets callers
+  /// that collected ids out of order (e.g. from an AttributeIndex bucket)
+  /// restore occurrence order deterministically.
+  std::optional<size_t> PositionOf(AtomId id) const {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return std::nullopt;
+    return it->second;
+  }
 
   size_t size() const { return atoms_.size(); }
   bool empty() const { return atoms_.empty(); }

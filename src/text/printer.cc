@@ -193,13 +193,19 @@ std::string FormatConceptComparison() {
 std::string FormatDerivationStats(const DerivationStats& stats) {
   char wall[32];
   std::snprintf(wall, sizeof(wall), "%.2f", stats.wall_ms);
-  return "derived " + std::to_string(stats.roots) + " molecule" +
-         (stats.roots == 1 ? "" : "s") + ": " +
-         std::to_string(stats.atoms_visited) + " atoms visited, " +
-         std::to_string(stats.links_scanned) + " links scanned, " +
-         std::to_string(stats.threads_used) +
-         (stats.threads_used == 1 ? " thread, " : " threads, ") + wall +
-         " ms";
+  const size_t derived = stats.roots - stats.molecules_rejected;
+  std::string out =
+      "derived " + std::to_string(derived) + " molecule" +
+      (derived == 1 ? "" : "s") + ": " +
+      std::to_string(stats.atoms_visited) + " atoms visited, " +
+      std::to_string(stats.links_scanned) + " links scanned, " +
+      std::to_string(stats.threads_used) +
+      (stats.threads_used == 1 ? " thread, " : " threads, ") + wall + " ms";
+  if (stats.molecules_rejected > 0) {
+    out += ", " + std::to_string(stats.molecules_rejected) +
+           " rejected by pushed filters";
+  }
+  return out;
 }
 
 std::string FormatDurabilityStats(const DurabilityStats& stats) {

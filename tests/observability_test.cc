@@ -29,8 +29,9 @@ class ObservabilityTest : public ::testing::Test {
 };
 
 TEST_F(ObservabilityTest, ExplainAnalyzeMatchesPlainQueryCardinalities) {
-  // The Fig. 2 'mt_state' molecule query, filtered on a non-root node so the
-  // WHERE survives root-pushdown and runs as a sigma over the derived set.
+  // The Fig. 2 'mt_state' molecule query, filtered on a non-root node: the
+  // WHERE is pushed into the derivation as a compiled per-node filter, so
+  // the sigma fuses over the fan-out instead of running afterwards.
   const char* body =
       "SELECT ALL FROM state-area-edge-point WHERE area.name = 'a7';";
   auto plain = session_->Execute(body);
@@ -38,7 +39,8 @@ TEST_F(ObservabilityTest, ExplainAnalyzeMatchesPlainQueryCardinalities) {
   ASSERT_EQ(plain->molecules->size(), 1u);
   ASSERT_TRUE(plain->derivation.has_value());
   const size_t derived = plain->derivation->roots;
-  ASSERT_EQ(derived, 10u);  // every state is derived, then filtered
+  ASSERT_EQ(derived, 10u);  // every state still fans out...
+  EXPECT_EQ(plain->derivation->molecules_rejected, 9u);  // ...9 are pruned
 
   auto analyzed = session_->Execute(std::string("EXPLAIN ANALYZE ") + body);
   ASSERT_TRUE(analyzed.ok()) << analyzed.status();
@@ -61,7 +63,9 @@ TEST_F(ObservabilityTest, ExplainAnalyzeMatchesPlainQueryCardinalities) {
     if (span.name == "sigma") sigma = &span;
   }
   ASSERT_NE(derive, nullptr);
-  EXPECT_EQ(derive->rows_out, static_cast<int64_t>(derived));
+  // The pushed filter rejects inside the fan-out, so the derive span
+  // already reports the survivors.
+  EXPECT_EQ(derive->rows_out, 1);
   ASSERT_NE(sigma, nullptr);
   EXPECT_EQ(sigma->rows_in, static_cast<int64_t>(derived));
   EXPECT_EQ(sigma->rows_out, 1);

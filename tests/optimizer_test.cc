@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "mql/session.h"
 #include "workload/geo.h"
@@ -32,58 +33,128 @@ class OptimizerTest : public ::testing::Test {
   std::unique_ptr<MoleculeDescription> md_;
 };
 
-TEST_F(OptimizerTest, IsRootOnlyClassification) {
+TEST_F(OptimizerTest, ReferencedNodesClassification) {
   auto root_ref = e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{1}));
   auto leaf_ref = e::Eq(e::Attr("point", "name"), e::Lit("pn"));
   auto mixed = e::Gt(e::Attr("state", "hectare"), e::Attr("area", "hectare"));
-  EXPECT_TRUE(*IsRootOnly(db_, *md_, *root_ref));
-  EXPECT_FALSE(*IsRootOnly(db_, *md_, *leaf_ref));
-  EXPECT_FALSE(*IsRootOnly(db_, *md_, *mixed));
-  // Unqualified 'x' resolves uniquely to point — not root.
-  EXPECT_FALSE(*IsRootOnly(db_, *md_, *e::Gt(e::Attr("x"), e::Lit(0.0))));
-  // Constant predicates stay residual.
-  EXPECT_FALSE(*IsRootOnly(db_, *md_, *e::Lit(true)));
+  EXPECT_EQ(*ReferencedNodes(db_, *md_, *root_ref), (std::vector<size_t>{0}));
+  EXPECT_EQ(*ReferencedNodes(db_, *md_, *leaf_ref), (std::vector<size_t>{3}));
+  EXPECT_EQ(*ReferencedNodes(db_, *md_, *mixed),
+            (std::vector<size_t>{0, 1}));
+  // Unqualified 'x' resolves uniquely to point.
+  EXPECT_EQ(*ReferencedNodes(db_, *md_, *e::Gt(e::Attr("x"), e::Lit(0.0))),
+            (std::vector<size_t>{3}));
+  // COUNT and FORALL bind their quantified node even without attribute
+  // references underneath.
+  EXPECT_EQ(*ReferencedNodes(db_, *md_,
+                             *e::Ge(e::Count("point"), e::Lit(int64_t{2}))),
+            (std::vector<size_t>{3}));
+  EXPECT_EQ(*ReferencedNodes(
+                db_, *md_,
+                *e::ForAll("point", e::Gt(e::Attr("point", "x"),
+                                          e::Attr("area", "hectare")))),
+            (std::vector<size_t>{1, 3}));
+  // Constant predicates reference nothing.
+  EXPECT_TRUE(ReferencedNodes(db_, *md_, *e::Lit(true))->empty());
   // Unknown references surface as errors.
-  EXPECT_FALSE(IsRootOnly(db_, *md_, *e::Attr("bogus", "name")).ok());
+  EXPECT_FALSE(ReferencedNodes(db_, *md_, *e::Attr("bogus", "name")).ok());
 }
 
-TEST_F(OptimizerTest, SplitsTopLevelConjunction) {
+TEST_F(OptimizerTest, SplitsConjunctionPerNode) {
   auto pred = e::And(
       e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{900})),
       e::And(e::Eq(e::Attr("point", "name"), e::Lit("pn")),
              e::Ne(e::Attr("state", "name"), e::Lit("XX"))));
-  auto split = SplitRootConjuncts(db_, *md_, pred);
-  ASSERT_TRUE(split.ok());
-  ASSERT_NE(split->root_only, nullptr);
-  ASSERT_NE(split->residual, nullptr);
-  EXPECT_EQ(split->root_only->ToString(),
+  auto plan = PlanPredicatePushdown(db_, *md_, pred);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->node_filters.size(), 2u);
+  EXPECT_EQ(plan->node_filters[0].node_index, 0u);
+  EXPECT_EQ(plan->node_filters[0].predicate->ToString(),
             "((state.hectare > 900) AND (state.name != 'XX'))");
-  EXPECT_EQ(split->residual->ToString(), "(point.name = 'pn')");
+  EXPECT_EQ(plan->node_filters[1].node_index, 3u);
+  EXPECT_EQ(plan->node_filters[1].predicate->ToString(),
+            "(point.name = 'pn')");
+  EXPECT_EQ(plan->residual, nullptr);
+  EXPECT_TRUE(plan->HasPushdown());
 }
 
-TEST_F(OptimizerTest, DisjunctionIsNotSplit) {
+TEST_F(OptimizerTest, MultiNodeDisjunctionStaysResidual) {
   auto pred = e::Or(e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{900})),
                     e::Eq(e::Attr("point", "name"), e::Lit("pn")));
-  auto split = SplitRootConjuncts(db_, *md_, pred);
-  ASSERT_TRUE(split.ok());
-  EXPECT_EQ(split->root_only, nullptr);
-  ASSERT_NE(split->residual, nullptr);
-  EXPECT_EQ(split->residual->ToString(), pred->ToString());
+  auto plan = PlanPredicatePushdown(db_, *md_, pred);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->node_filters.empty());
+  ASSERT_NE(plan->residual, nullptr);
+  EXPECT_EQ(plan->residual->ToString(), pred->ToString());
+  EXPECT_FALSE(plan->HasPushdown());
 }
 
-TEST_F(OptimizerTest, PureRootPredicateLeavesNoResidual) {
-  auto pred = e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{900}));
-  auto split = SplitRootConjuncts(db_, *md_, pred);
-  ASSERT_TRUE(split.ok());
-  EXPECT_NE(split->root_only, nullptr);
-  EXPECT_EQ(split->residual, nullptr);
+TEST_F(OptimizerTest, SingleNodeDisjunctionIsPushed) {
+  // A disjunction confined to one node is still decidable on that node.
+  auto pred = e::Or(e::Eq(e::Attr("point", "name"), e::Lit("pn")),
+                    e::Gt(e::Attr("point", "x"), e::Lit(100.0)));
+  auto plan = PlanPredicatePushdown(db_, *md_, pred);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->node_filters.size(), 1u);
+  EXPECT_EQ(plan->node_filters[0].node_index, 3u);
+  EXPECT_EQ(plan->node_filters[0].predicate->ToString(), pred->ToString());
+  EXPECT_EQ(plan->residual, nullptr);
 }
 
-TEST_F(OptimizerTest, NullPredicateSplitsToNulls) {
-  auto split = SplitRootConjuncts(db_, *md_, nullptr);
-  ASSERT_TRUE(split.ok());
-  EXPECT_EQ(split->root_only, nullptr);
-  EXPECT_EQ(split->residual, nullptr);
+TEST_F(OptimizerTest, CountConjunctIsPushedToItsNode) {
+  auto pred = e::And(e::Ge(e::Count("point"), e::Lit(int64_t{2})),
+                     e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{0})));
+  auto plan = PlanPredicatePushdown(db_, *md_, pred);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->node_filters.size(), 2u);
+  EXPECT_EQ(plan->node_filters[0].node_index, 0u);
+  EXPECT_EQ(plan->node_filters[1].node_index, 3u);
+  EXPECT_EQ(plan->node_filters[1].predicate->ToString(),
+            "(COUNT(point) >= 2)");
+  EXPECT_EQ(plan->residual, nullptr);
+}
+
+TEST_F(OptimizerTest, ConstantPredicateStaysResidual) {
+  auto plan = PlanPredicatePushdown(db_, *md_, e::Lit(true));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->node_filters.empty());
+  ASSERT_NE(plan->residual, nullptr);
+  EXPECT_FALSE(plan->HasPushdown());
+}
+
+TEST_F(OptimizerTest, NullPredicateYieldsEmptyPlan) {
+  auto plan = PlanPredicatePushdown(db_, *md_, nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->node_filters.empty());
+  EXPECT_EQ(plan->residual, nullptr);
+  EXPECT_FALSE(plan->seed.has_value());
+  EXPECT_FALSE(plan->HasPushdown());
+}
+
+TEST_F(OptimizerTest, IndexSeedRequiresIndexAndRootEquality) {
+  auto pred = e::And(e::Eq(e::Attr("state", "name"), e::Lit("SP")),
+                     e::Gt(e::Attr("point", "x"), e::Lit(0.0)));
+  // No index yet: the conjunct is pushed, but nothing seeds the roots.
+  auto before = PlanPredicatePushdown(db_, *md_, pred);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before->seed.has_value());
+
+  ASSERT_TRUE(db_.CreateIndex("state", "name").ok());
+  auto after = PlanPredicatePushdown(db_, *md_, pred);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->seed.has_value());
+  EXPECT_EQ(after->seed->attribute, "name");
+  EXPECT_EQ(after->seed->value.ToString(), "'SP'");
+  ASSERT_EQ(after->node_filters.size(), 2u);
+  // The seed only narrows: the root conjunct still verifies as a filter.
+  EXPECT_EQ(after->node_filters[0].predicate->ToString(),
+            "(state.name = 'SP')");
+
+  // Inequalities and non-root equalities never seed.
+  auto range = PlanPredicatePushdown(
+      db_, *md_, e::Gt(e::Attr("state", "hectare"), e::Lit(int64_t{900})));
+  ASSERT_TRUE(range.ok());
+  EXPECT_FALSE(range->seed.has_value());
 }
 
 std::set<std::string> RootNames(const Database& db, const QueryResult& r) {
@@ -97,14 +168,20 @@ std::set<std::string> RootNames(const Database& db, const QueryResult& r) {
   return names;
 }
 
-TEST_F(OptimizerTest, PushdownAndBaselineAgree) {
-  SessionOptions with;
-  with.enable_root_pushdown = true;
-  SessionOptions without;
-  without.enable_root_pushdown = false;
-  Session fast(&db_, with);
-  Session slow(&db_, without);
+/// Canonical keys in result order — the bit-for-bit comparison: same
+/// molecules, same atoms and links per molecule, same order.
+std::vector<std::string> Keys(const QueryResult& r) {
+  std::vector<std::string> keys;
+  keys.reserve(r.molecules->size());
+  for (const Molecule& m : r.molecules->molecules()) {
+    keys.push_back(m.CanonicalKey());
+  }
+  return keys;
+}
 
+TEST_F(OptimizerTest, PushdownAndBaselineAgree) {
+  // An index on the root makes the seeded path participate too.
+  ASSERT_TRUE(db_.CreateIndex("state", "name").ok());
   const char* queries[] = {
       "SELECT ALL FROM m1(state-area-edge-point) "
       "WHERE state.hectare > 900;",
@@ -116,14 +193,38 @@ TEST_F(OptimizerTest, PushdownAndBaselineAgree) {
       "WHERE state.name = 'SP' OR point.name = 'p9';",
       "SELECT state.name FROM m5(state-area-edge-point) "
       "WHERE state.hectare >= 1000 AND NOT state.name = 'SP';",
+      "SELECT ALL FROM m6(state-area-edge-point) "
+      "WHERE state.name = 'SP' AND point.x >= 0;",
+      "SELECT ALL FROM m7(state-area-edge-point) "
+      "WHERE COUNT(point) >= 1 AND state.hectare > 0;",
+      "SELECT ALL FROM m8(state-area-edge-point) "
+      "WHERE FORALL point (point.x >= 0);",
   };
+  // Pushdown on/off at several parallelism settings must agree
+  // bit-for-bit, per Theorem 2's closure argument: Σ commutes with the
+  // derivation split because each pushed conjunct is decided by the same
+  // group either way.
   for (const char* query : queries) {
-    auto a = fast.Execute(query);
-    auto b = slow.Execute(query);
-    ASSERT_TRUE(a.ok()) << query << ": " << a.status();
-    ASSERT_TRUE(b.ok()) << query << ": " << b.status();
-    EXPECT_EQ(RootNames(db_, *a), RootNames(db_, *b)) << query;
-    EXPECT_EQ(a->molecules->size(), b->molecules->size()) << query;
+    std::vector<std::string> baseline;
+    bool have_baseline = false;
+    for (bool pushdown : {true, false}) {
+      for (unsigned parallelism : {1u, 4u, 8u}) {
+        SessionOptions options;
+        options.enable_root_pushdown = pushdown;
+        options.parallelism = parallelism;
+        Session session(&db_, options);
+        auto result = session.Execute(query);
+        ASSERT_TRUE(result.ok()) << query << ": " << result.status();
+        if (!have_baseline) {
+          baseline = Keys(*result);
+          have_baseline = true;
+        } else {
+          EXPECT_EQ(Keys(*result), baseline)
+              << query << " (pushdown=" << pushdown
+              << ", parallelism=" << parallelism << ")";
+        }
+      }
+    }
   }
 }
 
@@ -134,6 +235,26 @@ TEST_F(OptimizerTest, PushdownDerivesOnlyQualifyingRoots) {
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->molecules->size(), 1u);
   EXPECT_EQ(result->molecules->molecules()[0].root(), ids_.states["SP"]);
+  // All ten states fan out (no index on state.name here), but nine are
+  // rejected by the pushed root filter before their descendants expand.
+  ASSERT_TRUE(result->derivation.has_value());
+  EXPECT_EQ(result->derivation->roots, 10u);
+  EXPECT_EQ(result->derivation->molecules_rejected, 9u);
+}
+
+TEST_F(OptimizerTest, IndexSeedNarrowsTheFanOut) {
+  ASSERT_TRUE(db_.CreateIndex("state", "name").ok());
+  Session session(&db_);
+  auto result = session.Execute(
+      "SELECT ALL FROM m(state-area-edge-point) WHERE state.name = 'SP';");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->molecules->size(), 1u);
+  EXPECT_EQ(result->molecules->molecules()[0].root(), ids_.states["SP"]);
+  // The index bucket seeds exactly the qualifying root: one root fans
+  // out, nothing is rejected.
+  ASSERT_TRUE(result->derivation.has_value());
+  EXPECT_EQ(result->derivation->roots, 1u);
+  EXPECT_EQ(result->derivation->molecules_rejected, 0u);
 }
 
 }  // namespace

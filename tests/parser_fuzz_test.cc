@@ -7,8 +7,12 @@
 #include <map>
 #include <random>
 #include <string>
+#include <vector>
 
+#include "expr/compile.h"
+#include "molecule/derivation.h"
 #include "molecule/description.h"
+#include "molecule/qualification.h"
 #include "mql/parser.h"
 #include "mql/sema.h"
 #include "mql/session.h"
@@ -185,6 +189,78 @@ TEST(ParserFuzzTest, AnalyzerSurvivesFuzzedStatements) {
   // The pools are parser-shaped: the overwhelming majority must reach the
   // analyzer for this test to mean anything.
   EXPECT_GT(analyzed, 3000u);
+}
+
+// Whatever WHERE clause the parser accepts, the predicate compiler must
+// survive too — and whenever it compiles, it must agree with the tree
+// interpreter on every derived molecule. This drives the compiler with
+// parser-shaped predicate soup rather than hand-built expression trees.
+TEST(ParserFuzzTest, CompilerSurvivesAndMatchesInterpreterOnFuzzedWhere) {
+  Database db("GEO_COMPILE_DB");
+  ASSERT_TRUE(workload::BuildFigure4GeoDatabase(db).ok());
+  auto md = MoleculeDescription::CreateFromTypes(
+      db, {"state", "area", "edge", "point"},
+      {{"state-area", "state", "area", false},
+       {"area-edge", "area", "edge", false},
+       {"edge-point", "edge", "point", false}});
+  ASSERT_TRUE(md.ok());
+  auto molecules = DeriveMolecules(db, *md);
+  ASSERT_TRUE(molecules.ok());
+
+  const char* predicates[] = {
+      "name = 'x'",
+      "hectare > 3.5",
+      "state.hectare + 1 > area.hectare",
+      "COUNT(point) > COUNT(edge)",
+      "COUNT(bogus) = 0",
+      "FORALL point (point.x >= 0)",
+      "FORALL area (state.name = 'x')",
+      "FORALL area (FORALL area (area.name = 'x'))",
+      "ghost.attr = 1",
+      "state.name = area.name",
+      "NOT state.hectare < 2",
+      "state.hectare + state.name = 2",
+      "point.x / 0.0 > 1",
+      "edge.name != 'e12'",
+  };
+  std::mt19937_64 rng(2028);
+  size_t compiled_count = 0;
+  for (int round = 0; round < 600; ++round) {
+    std::string text = "SELECT ALL FROM m(state-area-edge-point) WHERE ";
+    text += predicates[rng() % std::size(predicates)];
+    for (size_t extra = rng() % 3; extra > 0; --extra) {
+      text += rng() % 2 == 0 ? " AND " : " OR ";
+      text += predicates[rng() % std::size(predicates)];
+    }
+    text += ";";
+    auto statement = ParseStatement(text);
+    if (!statement.ok()) continue;
+    const auto* select = std::get_if<SelectStatement>(&*statement);
+    ASSERT_NE(select, nullptr) << text;
+
+    auto interpreter = MoleculeQualifier::Create(db, *md, select->where);
+    auto program = expr::CompiledPredicate::Compile(db, *md, select->where);
+    ASSERT_EQ(interpreter.ok(), program.ok()) << text;
+    if (!program.ok()) {
+      EXPECT_EQ(interpreter.status().message(), program.status().message())
+          << text;
+      continue;
+    }
+    ++compiled_count;
+    expr::CompiledPredicate::Scratch scratch;
+    for (const Molecule& m : *molecules) {
+      Result<bool> expected = interpreter->Matches(m);
+      Result<bool> actual = program->EvalMolecule(m, scratch);
+      ASSERT_EQ(expected.ok(), actual.ok()) << text;
+      if (expected.ok()) {
+        EXPECT_EQ(*expected, *actual) << text;
+      } else {
+        EXPECT_EQ(expected.status().message(), actual.status().message())
+            << text;
+      }
+    }
+  }
+  EXPECT_GT(compiled_count, 200u);
 }
 
 // Truncation sweep, but through the analyzer: every prefix that parses
